@@ -1,0 +1,73 @@
+"""E12 (extension) — decision-delay distributions under network jitter.
+
+The paper's delay counts hold on the nominal schedule; real deployments
+jitter.  This bench sweeps 30 seeds of 30%-jittered synchrony and reports
+the decision-delay distribution per algorithm: the *ordering* of the
+nominal table (PMP = Fast&Robust fast path < Disk Paxos = Message Paxos)
+must survive jitter, with the fast-path algorithms staying strictly below
+the confirming-read algorithms at every percentile.
+"""
+
+import pytest
+
+from repro import (
+    DiskPaxos,
+    FastPaxos,
+    FastRobust,
+    MessagePaxos,
+    ProtectedMemoryPaxos,
+)
+from repro.metrics.analysis import sweep_decision_delays
+from repro.sim.latency import JitteredSynchrony
+
+from benchmarks._common import emit, once, table
+
+SEEDS = range(30)
+JITTER = 0.3
+
+
+def _measure():
+    cases = [
+        ("Protected Memory Paxos", ProtectedMemoryPaxos, 3),
+        ("Fast & Robust", FastRobust, 3),
+        ("Fast Paxos", FastPaxos, 0),
+        ("Disk Paxos", DiskPaxos, 3),
+        ("Message Paxos", MessagePaxos, 0),
+    ]
+    stats = {}
+    for name, factory, memories in cases:
+        stats[name] = sweep_decision_delays(
+            factory,
+            seeds=SEEDS,
+            latency_factory=lambda: JitteredSynchrony(JITTER),
+            n_memories=memories,
+        )
+    return stats
+
+
+def test_latency_distributions(benchmark):
+    stats = once(benchmark, _measure)
+    rows = [[name] + s.row() for name, s in stats.items()]
+    emit(
+        "E12",
+        f"Decision-delay distributions, {len(list(SEEDS))} seeds, "
+        f"{int(JITTER * 100)}% jitter",
+        table(
+            ["algorithm", "runs", "mean", "p50", "p90", "p99", "min", "max"],
+            rows,
+        ),
+        notes=(
+            "Shape: the fast-path algorithms' p99 stays below the\n"
+            "confirming-read algorithms' p50 — the two-delay structure is a\n"
+            "property of the protocol, not of lucky timing.  Note Fast\n"
+            "Paxos: jitter lets concurrent proposers collide, its unanimous\n"
+            "fast quorum misses, and recovery dominates — the permission\n"
+            "write (PMP/F&R) keeps its fast path because contention is\n"
+            "resolved at the memory, not by luck of arrival order."
+        ),
+    )
+    fast = max(stats["Protected Memory Paxos"].p99, stats["Fast & Robust"].p99)
+    slow = min(stats["Disk Paxos"].p50, stats["Message Paxos"].p50)
+    assert fast < slow
+    assert stats["Protected Memory Paxos"].undecided == 0
+    assert stats["Fast & Robust"].undecided == 0

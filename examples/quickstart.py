@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run every algorithm from the paper once and compare delays.
+
+This reproduces the paper's headline comparison in one screen: the
+RDMA-enabled algorithms (Protected Memory Paxos, Aligned Paxos, Fast &
+Robust) decide in two network delays while matching or beating the
+resilience of the slower baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AlignedPaxos,
+    DiskPaxos,
+    FastPaxos,
+    FastRobust,
+    MessagePaxos,
+    ProtectedMemoryPaxos,
+    RobustBackup,
+    run_consensus,
+)
+from repro.metrics.reporting import format_table
+
+
+def main() -> None:
+    rows = []
+    for name, protocol, n, m, resilience, model in [
+        ("Message Paxos", MessagePaxos(), 3, 0, "n >= 2f+1", "crash"),
+        ("Fast Paxos", FastPaxos(), 3, 0, "n >= 2f+1", "crash"),
+        ("Disk Paxos", DiskPaxos(), 3, 3, "n >= f+1", "crash"),
+        ("Protected Memory Paxos", ProtectedMemoryPaxos(), 3, 3, "n >= f+1", "crash"),
+        ("Aligned Paxos", AlignedPaxos(), 3, 3, "maj. of n+m", "crash"),
+        ("Robust Backup", RobustBackup(), 3, 3, "n >= 2f+1", "Byzantine"),
+        ("Fast & Robust", FastRobust(), 3, 3, "n >= 2f+1", "Byzantine"),
+    ]:
+        result = run_consensus(protocol, n_processes=n, n_memories=m, deadline=20_000)
+        assert result.agreed and result.valid, f"{name} failed!"
+        rows.append(
+            [
+                name,
+                model,
+                resilience,
+                f"{result.earliest_decision_delay:g}",
+                "yes" if result.all_decided else "no",
+            ]
+        )
+
+    print("Common-case execution (synchronous, no failures), n=3 processes:\n")
+    print(
+        format_table(
+            ["algorithm", "faults", "resilience", "delays", "all decided"], rows
+        )
+    )
+    print(
+        "\nThe paper's claim: RDMA (dynamic permissions + shared memory +"
+        "\nmessages) gets BOTH the 2-delay fast path and the best resilience."
+    )
+
+
+if __name__ == "__main__":
+    main()

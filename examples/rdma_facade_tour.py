@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Tour of the Section 7 RDMA facade: PDs, QPs, rkeys, revocation.
+
+Shows the paper's practice-level mapping: register a slot array read-only,
+keep a write registration for your own row, hand rkeys to peers, and revoke
+a writer by switching the memory-side permission — the late write completes
+with a nak exactly like a deregistered rkey on real hardware.
+
+Run:  python examples/rdma_facade_tour.py
+"""
+
+from repro.mem.permissions import Permission, revoke_only_policy
+from repro.mem.regions import RegionSpec
+from repro.rdma.verbs import RdmaNic
+from repro.sim.environment import ProcessEnv
+from repro.sim.kernel import Kernel, SimConfig
+from repro.mem.layout import MemoryLayout
+from repro.types import ProcessId
+
+
+def build_kernel() -> Kernel:
+    revoked = Permission.read_only(range(2))
+    regions = [
+        # p1's slot row: SWMR, but revocable to read-only (Cheap Quorum's
+        # leader-region shape).
+        RegionSpec(
+            "row:0",
+            ("row", 0),
+            Permission.exclusive_writer(0, range(2)),
+            legal_change=revoke_only_policy(revoked),
+        ),
+        RegionSpec("row:1", ("row", 1), Permission.swmr(1, range(2))),
+    ]
+    return Kernel(SimConfig(n_processes=2, n_memories=1), MemoryLayout(regions))
+
+
+def main() -> None:
+    kernel = build_kernel()
+    env0 = ProcessEnv(kernel, ProcessId(0))
+    env1 = ProcessEnv(kernel, ProcessId(1))
+    nic0, nic1 = RdmaNic(env0), RdmaNic(env1)
+
+    log = []
+
+    def p1_writer():
+        pd = nic0.alloc_pd()
+        qp = nic0.create_qp(pd, ProcessId(1))
+        mr = pd.register(0, "row:0", ("row", 0), access="read-write")
+        log.append(f"t={env0.now:4.1f}  p1 registered row:0 rkey={mr.rkey:#x}")
+        result = yield from nic0.post_write(qp, mr, ("row", 0, "slot"), "v1")
+        log.append(f"t={env0.now:4.1f}  p1 write -> {result.status.value}")
+        yield from nic0.post_send(qp, ("rkey-share", mr.rkey))
+        # Wait past the revocation, then try writing again.
+        yield env0.sleep(10.0)
+        late = yield from nic0.post_write(qp, mr, ("row", 0, "slot"), "v2")
+        log.append(
+            f"t={env0.now:4.1f}  p1 late write -> {late.status.value} "
+            "(permission was revoked)"
+        )
+
+    def p2_reader():
+        pd = nic1.alloc_pd()
+        qp = nic1.create_qp(pd, ProcessId(0))
+        envelope = yield from nic1.poll_recv(timeout=50)
+        _tag, rkey = envelope.payload
+        log.append(f"t={env1.now:4.1f}  p2 received rkey {rkey:#x}")
+        mr = pd.register(0, "row:0", ("row", 0), access="read")
+        snap = yield from nic1.post_read_array(qp, mr)
+        log.append(f"t={env1.now:4.1f}  p2 array read -> {dict(snap.value)}")
+        # Revoke p1's write access (deregistration on the host side).
+        result = yield from env1.change_permission(
+            0, "row:0", Permission.read_only(range(2))
+        )
+        log.append(
+            f"t={env1.now:4.1f}  p2 revoked p1's write access "
+            f"({result.status.value})"
+        )
+
+    kernel.spawn(0, "p1", p1_writer())
+    kernel.spawn(1, "p2", p2_reader())
+    kernel.run(until=100)
+
+    print("RDMA facade tour (1 memory, 2 processes):\n")
+    for line in log:
+        print(" ", line)
+    print(
+        "\nThe late write nak is the paper's 'uncontended instantaneous'"
+        "\nguarantee: a successful write proves nobody revoked you first."
+    )
+
+
+if __name__ == "__main__":
+    main()

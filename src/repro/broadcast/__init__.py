@@ -1,0 +1,9 @@
+"""Non-equivocating broadcast (paper Section 4.1, Algorithm 2)."""
+
+from repro.broadcast.nonequivocating import (
+    Delivery,
+    NonEquivocatingBroadcast,
+    neb_regions,
+)
+
+__all__ = ["Delivery", "NonEquivocatingBroadcast", "neb_regions"]

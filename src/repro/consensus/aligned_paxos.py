@@ -1,0 +1,270 @@
+"""Aligned Paxos (paper Section 5.2, Algorithms 9-15).
+
+Processes and memories are *equivalent agents*: consensus survives as long
+as a **majority of the combined set** ``P ∪ M`` stays alive — e.g. with
+n=3, m=3 any three failures split arbitrarily between processes and
+memories.  The proposer runs the same two phases against both agent kinds,
+translating each step (Algorithms 10-15):
+
+====================  ===========================  =======================
+step                  process agent                memory agent
+====================  ===========================  =======================
+communicate1          send ``Prepare(b)``          grab permission, write
+                                                   ``slot[p] = (b, -, -)``
+hear back 1           ``Promise``/``Nack``         snapshot all slots
+communicate2          send ``Accept(b, v)``        write ``(b, b, v)``
+hear back 2           ``Accepted``/``Nack``        write ACK/NAK
+====================  ===========================  =======================
+
+Two memory-side variants, per the paper's footnote 4:
+
+* ``variant="protected"`` (default): Protected Memory Paxos style — dynamic
+  permissions make phase-2 writes self-certifying; the initial leader skips
+  phase 1 on its first attempt and decides in **two delays**.
+* ``variant="disk"``: Disk Paxos style — no permissions; phase 2 adds a
+  confirming snapshot per memory (two extra delays), no phase skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.base import ConsensusProtocol, DirectTransport, wait_until
+from repro.consensus.chains import ChainRunner
+from repro.consensus.messages import Accept, Decision, Prepare
+from repro.consensus.paxos import PaxosConfig, PaxosNode
+from repro.consensus.protected_memory_paxos import PmpSlot
+from repro.mem.permissions import Permission, exclusive_grab_policy
+from repro.mem.regions import RegionSpec
+from repro.sim.environment import ProcessEnv
+from repro.types import BOTTOM, is_bottom
+
+REGION = "ap"
+TOPIC = "aligned"
+
+
+@dataclass
+class AlignedConfig:
+    variant: str = "protected"  # or "disk"
+    leader_poll: float = 2.0
+    retry_backoff: float = 4.0
+    round_timeout: float = 30.0
+    initial_leader: int = 0
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("protected", "disk"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+
+
+def aligned_regions(
+    n_processes: int, variant: str = "protected", initial_leader: int = 0
+) -> List[RegionSpec]:
+    processes = range(n_processes)
+    if variant == "protected":
+        permission = Permission.exclusive_writer(initial_leader, processes)
+        legal = exclusive_grab_policy(processes)
+        return [
+            RegionSpec(REGION, (REGION,), permission, legal_change=legal)
+        ]
+    return [RegionSpec(REGION, (REGION,), Permission.open(processes))]
+
+
+@dataclass
+class _ChainResult:
+    ok: bool
+    view: Optional[dict] = None
+
+
+class AlignedNode:
+    """One process's Aligned Paxos endpoint.
+
+    The message half reuses :class:`PaxosNode` (acceptor duties, reply
+    filing, decision learning); the proposer below drives both agent kinds
+    and counts a combined quorum.
+    """
+
+    def __init__(self, env: ProcessEnv, value: Any, config: Optional[AlignedConfig] = None):
+        self.env = env
+        self.value = value
+        self.config = config or AlignedConfig()
+        paxos_config = PaxosConfig(
+            round_timeout=self.config.round_timeout,
+            retry_backoff=self.config.retry_backoff,
+            leader_poll=self.config.leader_poll,
+        )
+        self.node = PaxosNode(
+            env, DirectTransport(env, topic=TOPIC), value, config=paxos_config
+        )
+        self.first_attempt = True
+
+    # ------------------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        return self.node.decided
+
+    def pump(self) -> Generator:
+        yield from self.node.pump()
+
+    def proposer(self) -> Generator:
+        env = self.env
+        while not self.decided:
+            if env.leader() != env.pid:
+                yield env.gate_wait(self.node.wake, timeout=self.config.leader_poll)
+                continue
+            yield from self._attempt()
+            if not self.decided:
+                yield env.sleep(self.config.retry_backoff * (1 + env.rng.random()))
+
+    # ------------------------------------------------------------------
+    def _agent_majority(self) -> int:
+        total = self.env.n_processes + self.env.n_memories
+        return total // 2 + 1
+
+    def _attempt(self) -> Generator:
+        env = self.env
+        node = self.node
+        majority = self._agent_majority()
+        ballot = node.highest_seen.next_for(env.pid)
+        node.highest_seen = ballot
+        skip_phase1 = (
+            self.config.variant == "protected"
+            and int(env.pid) == self.config.initial_leader
+            and self.first_attempt
+        )
+        self.first_attempt = False
+
+        if skip_phase1:
+            proposal = self.value
+        else:
+            proposal = yield from self._phase1(ballot, majority)
+            if proposal is _RESTART:
+                return
+
+        ok = yield from self._phase2(ballot, proposal, majority)
+        if not ok:
+            return
+        yield from node.transport.broadcast(Decision(value=proposal))
+        node._learn(proposal)
+
+    # ------------------------------------------------------------------
+    def _phase1(self, ballot: Ballot, majority: int) -> Generator:
+        env = self.env
+        node = self.node
+        protected = self.config.variant == "protected"
+        chains = ChainRunner(env, f"ap1-{ballot.round}", gate=node.wake)
+        grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
+        probe = PmpSlot(min_prop=ballot, acc_prop=None, value=BOTTOM)
+
+        def chain(mid):
+            if protected:
+                yield from env.change_permission(mid, REGION, grab)
+            write = yield from env.write(mid, REGION, (REGION, int(env.pid)), probe)
+            if not write.ok:
+                return _ChainResult(ok=False)
+            snap = yield from env.snapshot(mid, REGION, (REGION,))
+            return _ChainResult(ok=snap.ok, view=snap.value if snap.ok else None)
+
+        yield from node.transport.broadcast(Prepare(ballot=ballot))
+        yield from chains.launch(chain)
+
+        def responded() -> int:
+            return len(node.promises.get(ballot, {})) + len(chains.results)
+
+        yield from wait_until(
+            env,
+            node.wake,
+            lambda: responded() >= majority or ballot in node.nacked or node.decided,
+            timeout=self.config.round_timeout,
+        )
+        if node.decided or ballot in node.nacked or responded() < majority:
+            return _RESTART
+        if any(not r.ok for r in chains.results.values()):
+            return _RESTART
+
+        best: Optional[Tuple[Ballot, Any]] = None
+        for result in chains.results.values():
+            for key, slot in (result.view or {}).items():
+                if key == (REGION, int(env.pid)) or not isinstance(slot, PmpSlot):
+                    continue
+                node.highest_seen = max(node.highest_seen, slot.min_prop)
+                if slot.min_prop > ballot:
+                    return _RESTART
+                if slot.acc_prop is not None and not is_bottom(slot.value):
+                    if best is None or slot.acc_prop > best[0]:
+                        best = (slot.acc_prop, slot.value)
+        for promise in node.promises.get(ballot, {}).values():
+            if promise.accepted_ballot is not None:
+                if best is None or promise.accepted_ballot > best[0]:
+                    best = (promise.accepted_ballot, promise.accepted_value)
+        return self.value if best is None else best[1]
+
+    # ------------------------------------------------------------------
+    def _phase2(self, ballot: Ballot, proposal: Any, majority: int) -> Generator:
+        env = self.env
+        node = self.node
+        protected = self.config.variant == "protected"
+        chains = ChainRunner(env, f"ap2-{ballot.round}", gate=node.wake)
+        slot_value = PmpSlot(min_prop=ballot, acc_prop=ballot, value=proposal)
+
+        def chain(mid):
+            write = yield from env.write(mid, REGION, (REGION, int(env.pid)), slot_value)
+            if not write.ok:
+                return _ChainResult(ok=False)
+            if protected:
+                # Permission exclusivity certifies the write (Lemma D.3).
+                return _ChainResult(ok=True)
+            # Disk variant: confirming read — restart if outpaced.
+            snap = yield from env.snapshot(mid, REGION, (REGION,))
+            if not snap.ok:
+                return _ChainResult(ok=False)
+            for key, other in snap.value.items():
+                if key == (REGION, int(env.pid)) or not isinstance(other, PmpSlot):
+                    continue
+                if other.min_prop > ballot:
+                    return _ChainResult(ok=False)
+            return _ChainResult(ok=True)
+
+        yield from node.transport.broadcast(Accept(ballot=ballot, value=proposal))
+        yield from chains.launch(chain)
+
+        def successes() -> int:
+            chain_ok = sum(1 for r in chains.results.values() if r.ok)
+            return len(node.accepts.get(ballot, ())) + chain_ok
+
+        def failed() -> bool:
+            return ballot in node.nacked or any(
+                not r.ok for r in chains.results.values()
+            )
+
+        yield from wait_until(
+            env,
+            node.wake,
+            lambda: successes() >= majority or failed() or node.decided,
+            timeout=self.config.round_timeout,
+        )
+        if node.decided:
+            return False
+        return successes() >= majority and not failed()
+
+
+_RESTART = object()
+
+
+class AlignedPaxos(ConsensusProtocol):
+    """Aligned Paxos as a pluggable protocol."""
+
+    name = "aligned-paxos"
+
+    def __init__(self, config: Optional[AlignedConfig] = None) -> None:
+        self.config = config or AlignedConfig()
+
+    def regions(self, n_processes: int, n_memories: int) -> List[RegionSpec]:
+        return aligned_regions(
+            n_processes, self.config.variant, self.config.initial_leader
+        )
+
+    def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        node = AlignedNode(env, value, self.config)
+        return [("ap-pump", node.pump()), ("ap-proposer", node.proposer())]

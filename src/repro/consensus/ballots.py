@@ -1,0 +1,36 @@
+"""Totally ordered ballot (proposal) numbers.
+
+A ballot is a ``(round, pid)`` pair ordered lexicographically, so two
+processes can never produce the same ballot and "choose a number higher
+than any seen before" (Algorithm 7, line 10) is always possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True, order=True)
+class Ballot:
+    """Lexicographically ordered proposal number."""
+
+    round: int
+    pid: int
+
+    @staticmethod
+    def initial(pid: ProcessId) -> "Ballot":
+        return Ballot(round=1, pid=int(pid))
+
+    @staticmethod
+    def zero() -> "Ballot":
+        """Smaller than every real ballot (placeholder for "never")."""
+        return Ballot(round=0, pid=-1)
+
+    def next_for(self, pid: ProcessId) -> "Ballot":
+        """The smallest ballot of *pid* larger than this one."""
+        return Ballot(round=self.round + 1, pid=int(pid))
+
+    def __repr__(self) -> str:
+        return f"({self.round},p{self.pid + 1})"

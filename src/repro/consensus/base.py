@@ -1,0 +1,115 @@
+"""Protocol interface and transports.
+
+:class:`ConsensusProtocol` is what the cluster runner consumes: a protocol
+declares the memory regions it needs and the tasks each correct process
+runs.  Decisions are reported through ``env.decide`` so the metrics ledger
+sees every decision (and checks agreement) regardless of protocol.
+
+:class:`DirectTransport` and :class:`TrustedAdapter` give Paxos one send/
+receive interface over either the raw network (crash model) or the trusted
+T-send/T-receive layer (Byzantine model) — the textual substitution the
+paper performs in Definition 2 becomes a constructor argument here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.mem.regions import RegionSpec
+from repro.sim.environment import ProcessEnv
+from repro.types import ProcessId
+
+
+@dataclass
+class ProposerOutcome:
+    """What a propose task returns (also recorded via ``env.decide``)."""
+
+    decided: bool
+    value: Any = None
+
+
+class ConsensusProtocol(ABC):
+    """A consensus algorithm pluggable into the cluster runner."""
+
+    name: str = "consensus"
+
+    @abstractmethod
+    def regions(self, n_processes: int, n_memories: int) -> List[RegionSpec]:
+        """Memory regions this protocol needs on every memory replica."""
+
+    @abstractmethod
+    def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        """The generator tasks one correct process runs, given its input."""
+
+
+class Transport(ABC):
+    """Uniform send/receive interface for message-passing protocols."""
+
+    @abstractmethod
+    def send(self, dst: ProcessId, message: Any) -> Generator:
+        """Send *message* to *dst* (sub-generator)."""
+
+    @abstractmethod
+    def broadcast(self, message: Any) -> Generator:
+        """Send *message* to every process including ourselves."""
+
+    @abstractmethod
+    def recv(self, timeout: Optional[float] = None) -> Generator:
+        """Receive ``(sender, message)`` or None on timeout."""
+
+
+class DirectTransport(Transport):
+    """Plain network transport (the crash-failure setting)."""
+
+    def __init__(self, env: ProcessEnv, topic: str = "paxos") -> None:
+        self.env = env
+        self.topic = topic
+
+    def send(self, dst: ProcessId, message: Any) -> Generator:
+        yield self.env.send(dst, message, topic=self.topic)
+
+    def broadcast(self, message: Any) -> Generator:
+        yield from self.env.broadcast(message, topic=self.topic, include_self=True)
+
+    def recv(self, timeout: Optional[float] = None) -> Generator:
+        envelope = yield self.env.recv_effect(topic=self.topic, timeout=timeout)
+        if envelope is None:
+            return None
+        return (envelope.src, envelope.payload)
+
+
+class TrustedAdapter(Transport):
+    """Transport over T-send/T-receive (the Byzantine setting).
+
+    Wrapping a :class:`~repro.trusted.transport.TrustedTransport` makes
+    ``RobustBackup(A) = A with sends/receives replaced`` a one-line change,
+    mirroring Definition 2 of the paper.
+    """
+
+    def __init__(self, trusted) -> None:
+        self.trusted = trusted
+
+    def send(self, dst: ProcessId, message: Any) -> Generator:
+        yield from self.trusted.t_send(dst, message)
+
+    def broadcast(self, message: Any) -> Generator:
+        yield from self.trusted.t_broadcast(message)
+
+    def recv(self, timeout: Optional[float] = None) -> Generator:
+        delivered = yield from self.trusted.t_recv(timeout=timeout)
+        if delivered is None:
+            return None
+        return (delivered.sender, delivered.message)
+
+
+def wait_until(env: ProcessEnv, gate, condition, timeout: Optional[float]) -> Generator:
+    """Park on *gate* until ``condition()`` holds; False on timeout."""
+    deadline = None if timeout is None else env.now + timeout
+    while not condition():
+        remaining = None if deadline is None else deadline - env.now
+        if remaining is not None and remaining <= 0:
+            return False
+        yield env.gate_wait(gate, timeout=remaining)
+    return True

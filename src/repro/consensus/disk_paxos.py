@@ -1,0 +1,230 @@
+"""Disk Paxos (Gafni & Lamport [28]) — the static-permission baseline.
+
+The paper's comparison point for shared-memory consensus: ``n >= f_P + 1``
+processes, ``m >= 2f_M + 1`` disks (memories with a single always-open
+region), but **at least four delays** even in the common case, because
+after writing its block a leader must *read back* every block to check that
+no higher ballot intervened — the confirming read that Protected Memory
+Paxos replaces with permission revocation (and that Theorem 6.1 proves
+cannot be avoided without dynamic permissions or messages).
+
+A stable leader (ballot established by an earlier instance, modeled with
+``established_leader``) still pays write + read-back per attempt: 2 memory
+operations = 4 delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.base import ConsensusProtocol
+from repro.consensus.chains import ChainRunner
+from repro.consensus.messages import Decision
+from repro.mem.operations import SnapshotOp, WriteOp
+from repro.mem.permissions import Permission
+from repro.mem.regions import RegionSpec
+from repro.sim.environment import ProcessEnv
+from repro.types import BOTTOM, is_bottom
+
+REGION = "dp"
+TOPIC = "dp"
+
+
+@dataclass(frozen=True)
+class DiskBlock:
+    """Gafni-Lamport disk block: ``(mbal, bal, inp)`` plus a decided flag
+    used by the link-free learning path."""
+
+    mbal: Ballot
+    bal: Optional[Ballot]
+    inp: Any
+    decided: bool = False
+
+
+@dataclass
+class DiskPaxosConfig:
+    leader_poll: float = 2.0
+    retry_backoff: float = 4.0
+    #: process whose first ballot counts as pre-established (skips phase 1
+    #: on its first attempt, mirroring PMP's p1 head start)
+    established_leader: Optional[int] = 0
+    #: Section 3's pure disk model: learn decisions by polling the disks
+    #: instead of a decision broadcast (works with links disabled entirely)
+    link_free: bool = False
+    #: polling cadence for link-free decision learning
+    learn_poll: float = 2.0
+
+
+def disk_paxos_regions(n_processes: int) -> List[RegionSpec]:
+    """One open region per memory — the disk model of Section 3."""
+    return [
+        RegionSpec(
+            region_id=REGION,
+            prefix=(REGION,),
+            initial_permission=Permission.open(range(n_processes)),
+        )
+    ]
+
+
+@dataclass
+class _ChainResult:
+    view: Optional[dict]
+
+
+class DiskPaxosNode:
+    """One process's Disk Paxos endpoint."""
+
+    def __init__(self, env: ProcessEnv, value: Any, config: Optional[DiskPaxosConfig] = None):
+        self.env = env
+        self.value = value
+        self.config = config or DiskPaxosConfig()
+        self.highest_seen = Ballot.zero()
+        self.decided = False
+        self.decided_value: Any = None
+        self.first_attempt = True
+        self._bal: Optional[Ballot] = None
+        self._inp: Any = BOTTOM
+
+    # ------------------------------------------------------------------
+    def listener(self) -> Generator:
+        env = self.env
+        if self.config.link_free:
+            # The disk model has no links: poll the disks for a decided
+            # block (one snapshot per memory, in parallel).
+            while not self.decided:
+                futures = yield from env.invoke_on_all(
+                    lambda mid: SnapshotOp(region=REGION, prefix=(REGION,))
+                )
+                yield env.wait(futures, count=env.majority_of_memories())
+                for future in futures:
+                    if not future.ok:
+                        continue
+                    for block in future.value.values():
+                        if isinstance(block, DiskBlock) and block.decided:
+                            self._learn(block.inp)
+                            return
+                yield env.sleep(self.config.learn_poll)
+            return
+        while not self.decided:
+            envelope = yield from env.recv(topic=TOPIC)
+            if envelope is not None and isinstance(envelope.payload, Decision):
+                self._learn(envelope.payload.value)
+
+    def _learn(self, value: Any) -> None:
+        if not self.decided:
+            self.decided = True
+            self.decided_value = value
+            self.env.decide(value)
+
+    # ------------------------------------------------------------------
+    def proposer(self) -> Generator:
+        env = self.env
+        while not self.decided:
+            if env.leader() != env.pid:
+                yield env.sleep(self.config.leader_poll)
+                continue
+            yield from self._attempt()
+            if not self.decided:
+                yield env.sleep(self.config.retry_backoff * (1 + env.rng.random()))
+
+    def _round(self, mbal: Ballot, block: DiskBlock, majority: int) -> Generator:
+        """One GL round: write own block + read all blocks, per disk.
+
+        Returns the list of completed per-disk views, or None if a higher
+        ``mbal`` was seen (abort the attempt).
+        """
+        env = self.env
+        label = f"dp-{mbal.round}-{mbal.pid}"
+        chains = ChainRunner(env, label)
+
+        def chain(mid):
+            yield from env.write(mid, REGION, (REGION, int(env.pid)), block)
+            snap = yield from env.snapshot(mid, REGION, (REGION,))
+            return _ChainResult(view=snap.value if snap.ok else None)
+
+        yield from chains.launch(chain)
+        yield from chains.wait_for(majority)
+        views = []
+        aborted = False
+        for result in chains.results.values():
+            if result.view is None:
+                aborted = True
+                continue
+            for key, other in result.view.items():
+                if key == (REGION, int(env.pid)) or not isinstance(other, DiskBlock):
+                    continue
+                self.highest_seen = max(self.highest_seen, other.mbal)
+                if other.mbal > mbal:
+                    aborted = True
+            views.append(result.view)
+        return None if aborted else views
+
+    def _attempt(self) -> Generator:
+        env = self.env
+        majority = env.majority_of_memories()
+        mbal = self.highest_seen.next_for(env.pid)
+        self.highest_seen = mbal
+        skip_phase1 = (
+            self.config.established_leader is not None
+            and int(env.pid) == self.config.established_leader
+            and self.first_attempt
+        )
+        self.first_attempt = False
+
+        if skip_phase1:
+            inp = self.value
+        else:
+            block = DiskBlock(mbal=mbal, bal=self._bal, inp=self._inp)
+            views = yield from self._round(mbal, block, majority)
+            if views is None:
+                return
+            best: Optional[Tuple[Ballot, Any]] = None
+            for view in views:
+                for key, other in view.items():
+                    if key == (REGION, int(env.pid)) or not isinstance(other, DiskBlock):
+                        continue
+                    if other.bal is not None and not is_bottom(other.inp):
+                        if best is None or other.bal > best[0]:
+                            best = (other.bal, other.inp)
+            inp = self.value if best is None else best[1]
+
+        # Phase 2: write (mbal, bal=mbal, inp) then read back — the
+        # unavoidable confirming read of the static-permission model.
+        self._bal = mbal
+        self._inp = inp
+        block = DiskBlock(mbal=mbal, bal=mbal, inp=inp)
+        views = yield from self._round(mbal, block, majority)
+        if views is None:
+            return
+        self._learn(inp)
+        if self.config.link_free:
+            # Publish the decision on the disks themselves.
+            decided_block = DiskBlock(mbal=mbal, bal=mbal, inp=inp, decided=True)
+            futures = yield from env.invoke_on_all(
+                lambda mid: WriteOp(
+                    region=REGION, key=(REGION, int(env.pid)), value=decided_block
+                )
+            )
+            yield env.wait(futures, count=majority)
+        else:
+            yield from env.broadcast(
+                Decision(value=inp), topic=TOPIC, include_self=False
+            )
+
+
+class DiskPaxos(ConsensusProtocol):
+    """Disk Paxos as a pluggable protocol."""
+
+    name = "disk-paxos"
+
+    def __init__(self, config: Optional[DiskPaxosConfig] = None) -> None:
+        self.config = config or DiskPaxosConfig()
+
+    def regions(self, n_processes: int, n_memories: int) -> List[RegionSpec]:
+        return disk_paxos_regions(n_processes)
+
+    def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        node = DiskPaxosNode(env, value, self.config)
+        return [("dp-listener", node.listener()), ("dp-proposer", node.proposer())]

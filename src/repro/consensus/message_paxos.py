@@ -1,0 +1,32 @@
+"""Classic message-passing Paxos as a pluggable protocol (baseline).
+
+This is the paper's reference point for message-passing consensus under
+partial synchrony: ``n >= 2f_P + 1`` processes, decisions in four delays in
+the common case (prepare → promise → accept → accepted).  It uses no
+memories at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple
+
+from repro.consensus.base import ConsensusProtocol, DirectTransport
+from repro.consensus.paxos import PaxosConfig, PaxosNode
+from repro.mem.regions import RegionSpec
+from repro.sim.environment import ProcessEnv
+
+
+class MessagePaxos(ConsensusProtocol):
+    """Single-decree Paxos over the plain network."""
+
+    name = "message-paxos"
+
+    def __init__(self, config: PaxosConfig | None = None) -> None:
+        self.config = config or PaxosConfig()
+
+    def regions(self, n_processes: int, n_memories: int) -> List[RegionSpec]:
+        return []
+
+    def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        node = PaxosNode(env, DirectTransport(env), value, config=self.config)
+        return [("paxos-pump", node.pump()), ("paxos-proposer", node.proposer())]

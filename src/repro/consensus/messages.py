@@ -1,0 +1,89 @@
+"""Protocol message types shared by Paxos variants and validators.
+
+These are plain frozen dataclasses with no behaviour so that both the
+transports (direct and trusted) and the conformance validators can import
+them without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.consensus.ballots import Ballot
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1a: a proposer solicits promises for *ballot*."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase-1b: an acceptor promises *ballot*, reporting what it accepted."""
+
+    ballot: Ballot
+    accepted_ballot: Optional[Ballot]
+    accepted_value: Any
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase-2a: a proposer asks acceptors to accept (*ballot*, *value*)."""
+
+    ballot: Ballot
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase-2b: an acceptor accepted (*ballot*, *value*)."""
+
+    ballot: Ballot
+    value: Any
+
+
+@dataclass(frozen=True)
+class Nack:
+    """An acceptor refuses *ballot* (it promised *promised* instead)."""
+
+    ballot: Ballot
+    promised: Ballot
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A learner announces the decided *value*."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class SetupValue:
+    """Preferential Paxos set-up phase: an input value with its priority tag.
+
+    ``priority`` is the Definition-3 class (smaller = higher priority);
+    ``payload`` carries whatever certificates justify the class (checked by
+    the receiver, not trusted from the tag).
+    """
+
+    value: Any
+    priority: int
+    payload: Any = None
+
+
+#: Fast Paxos fast-round messages
+@dataclass(frozen=True)
+class FastPropose:
+    """A proposer's round-0 value, sent directly to all acceptors."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class FastAccepted:
+    """An acceptor's round-0 acceptance, broadcast to all learners."""
+
+    value: Any

@@ -1,0 +1,60 @@
+"""Ω failure-detector oracles.
+
+The paper assumes the standard Ω leader oracle for liveness (Algorithm 7
+line 5 and the termination proofs): eventually all correct processes trust
+the same correct process forever.  Safety never depends on Ω, and the
+tests exercise wrong/flapping leaders to confirm it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+OmegaFn = Callable[[float], int]
+
+
+def stable_leader(pid: int = 0) -> OmegaFn:
+    """Ω that always reports *pid* (the common-case oracle)."""
+    return lambda now: pid
+
+
+def leader_schedule(schedule: Sequence[Tuple[float, int]]) -> OmegaFn:
+    """Ω following a piecewise-constant schedule ``[(from_time, pid), ...]``.
+
+    Entries must be sorted by time; before the first entry the first pid is
+    reported.
+    """
+    entries: List[Tuple[float, int]] = sorted(schedule)
+    if not entries:
+        raise ValueError("schedule must not be empty")
+
+    def omega(now: float) -> int:
+        current = entries[0][1]
+        for start, pid in entries:
+            if now >= start:
+                current = pid
+            else:
+                break
+        return current
+
+    return omega
+
+
+def crash_aware_omega(kernel, preference: Sequence[int] = ()) -> OmegaFn:
+    """Ω that reports the first non-crashed process (eventually accurate).
+
+    This models the real failure detector: it reacts to crashes instantly
+    (the simulator knows ground truth), which is a *stronger* oracle than
+    real Ω — acceptable because the paper's algorithms only rely on
+    eventual accuracy, and tests that need pre-GST inaccuracy use
+    :func:`leader_schedule` instead.
+    """
+    order = list(preference) or list(range(kernel.config.n_processes))
+
+    def omega(now: float) -> int:
+        for pid in order:
+            if pid not in kernel.crashed_processes:
+                return pid
+        return order[0]
+
+    return omega

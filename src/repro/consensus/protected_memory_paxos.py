@@ -1,0 +1,209 @@
+"""Protected Memory Paxos (paper Section 5.1, Algorithm 7).
+
+Crash-fault consensus with ``n >= f_P + 1`` processes and ``m >= 2f_M + 1``
+memories that decides in **two delays** in the common case.  The trick over
+Disk Paxos: at any time exactly one process holds exclusive write permission
+per memory, so a leader's successful phase-2 write *simultaneously* stores
+its proposal and proves no newer leader exists (a newer leader would have
+grabbed the permission, making the write nak) — eliminating Disk Paxos'
+confirming read and its two delays.
+
+The initial leader ``p1`` starts with the permissions already held and may
+skip the preparation phase on its first attempt (Theorem D.5's
+``firstAttempt`` flag), going straight to the single phase-2 write: two
+delays.  Every later attempt — by p1 or anybody else — runs the full
+prepare phase: grab permission, publish the proposal number, read all
+slots (one snapshot per memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.chains import ChainRunner
+from repro.consensus.messages import Decision
+from repro.consensus.base import ConsensusProtocol
+from repro.mem.permissions import Permission, exclusive_grab_policy
+from repro.mem.regions import RegionSpec
+from repro.sim.environment import ProcessEnv
+from repro.types import BOTTOM, ProcessId, is_bottom
+
+REGION = "pmp"
+TOPIC = "pmp"
+
+
+@dataclass(frozen=True)
+class PmpSlot:
+    """One slot: ``(minProposal, acceptedProposal, value)``."""
+
+    min_prop: Ballot
+    acc_prop: Optional[Ballot]
+    value: Any
+
+
+@dataclass
+class PmpConfig:
+    leader_poll: float = 2.0
+    retry_backoff: float = 4.0
+    #: initial leader (holds write permission from the start)
+    initial_leader: int = 0
+    #: ablation switch: disable the Theorem D.5 first-attempt skip, forcing
+    #: even the initial leader through the full prepare phase (the
+    #: permission optimization is what this flag turns off)
+    skip_first_attempt: bool = True
+
+
+@dataclass
+class _ChainResult:
+    write_ok: bool
+    view: Optional[dict]
+
+
+def pmp_regions(n_processes: int, initial_leader: int = 0) -> List[RegionSpec]:
+    """One region spanning each memory's whole PMP slot array.
+
+    Initially the fixed leader holds exclusive write permission; the
+    ``legalChange`` policy lets any process grab exclusivity for itself
+    (crash model — nobody lies about identity).
+    """
+    processes = range(n_processes)
+    return [
+        RegionSpec(
+            region_id=REGION,
+            prefix=(REGION,),
+            initial_permission=Permission.exclusive_writer(initial_leader, processes),
+            legal_change=exclusive_grab_policy(processes),
+        )
+    ]
+
+
+class PmpNode:
+    """One process's Protected Memory Paxos endpoint."""
+
+    def __init__(self, env: ProcessEnv, value: Any, config: Optional[PmpConfig] = None):
+        self.env = env
+        self.value = value
+        self.config = config or PmpConfig()
+        self.highest_seen = Ballot.zero()
+        self.decided = False
+        self.decided_value: Any = None
+        self.first_attempt = True
+
+    # ------------------------------------------------------------------
+    def listener(self) -> Generator:
+        """Learn decisions broadcast by whoever decided."""
+        env = self.env
+        while not self.decided:
+            envelope = yield from env.recv(topic=TOPIC)
+            if envelope is not None and isinstance(envelope.payload, Decision):
+                self._learn(envelope.payload.value)
+
+    def _learn(self, value: Any) -> None:
+        if not self.decided:
+            self.decided = True
+            self.decided_value = value
+            self.env.decide(value)
+
+    # ------------------------------------------------------------------
+    def proposer(self) -> Generator:
+        env = self.env
+        while not self.decided:
+            if env.leader() != env.pid:
+                yield env.sleep(self.config.leader_poll)
+                continue
+            yield from self._attempt()
+            if not self.decided:
+                yield env.sleep(self.config.retry_backoff * (1 + env.rng.random()))
+
+    def _attempt(self) -> Generator:
+        env = self.env
+        majority = env.majority_of_memories()
+        prop_nr = self.highest_seen.next_for(env.pid)
+        self.highest_seen = prop_nr
+        skip_prepare = (
+            self.config.skip_first_attempt
+            and int(env.pid) == self.config.initial_leader
+            and self.first_attempt
+        )
+        self.first_attempt = False
+
+        if skip_prepare:
+            my_value = self.value
+        else:
+            prepared = yield from self._prepare_phase(prop_nr, majority)
+            if prepared is None:
+                return
+            my_value = prepared
+
+        # Phase 2: one write per memory, in parallel.  Success on a clean
+        # ACK majority both stores the value and certifies leadership
+        # (Lemma D.3) — no confirming read needed.
+        chains = ChainRunner(env, "pmp2")
+        slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
+
+        def phase2_chain(mid):
+            result = yield from env.write(mid, REGION, (REGION, int(env.pid)), slot_value)
+            return _ChainResult(write_ok=result.ok, view=None)
+
+        yield from chains.launch(phase2_chain)
+        yield from chains.wait_for(majority)
+        if any(not r.write_ok for r in chains.results.values()):
+            return  # permission was taken: a newer leader exists; restart
+        self._learn(my_value)
+        yield from env.broadcast(Decision(value=my_value), topic=TOPIC, include_self=False)
+
+    def _prepare_phase(self, prop_nr: Ballot, majority: int) -> Generator:
+        """Grab permissions, publish prop_nr, read every slot.
+
+        Returns the value to propose, or None to restart.
+        """
+        env = self.env
+        chains = ChainRunner(env, "pmp1")
+        grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
+        probe_slot = PmpSlot(min_prop=prop_nr, acc_prop=None, value=BOTTOM)
+
+        def phase1_chain(mid):
+            yield from env.change_permission(mid, REGION, grab)
+            write = yield from env.write(mid, REGION, (REGION, int(env.pid)), probe_slot)
+            if not write.ok:
+                return _ChainResult(write_ok=False, view=None)
+            snap = yield from env.snapshot(mid, REGION, (REGION,))
+            return _ChainResult(write_ok=True, view=snap.value if snap.ok else None)
+
+        yield from chains.launch(phase1_chain)
+        yield from chains.wait_for(majority)
+        completed = list(chains.results.values())
+        if any(not r.write_ok for r in completed):
+            return None
+        best: Optional[Tuple[Ballot, Any]] = None
+        for result in completed:
+            if result.view is None:
+                return None
+            for key, slot in result.view.items():
+                if not isinstance(slot, PmpSlot) or key == (REGION, int(env.pid)):
+                    continue
+                self.highest_seen = max(self.highest_seen, slot.min_prop)
+                if slot.min_prop > prop_nr:
+                    return None
+                if slot.acc_prop is not None and not is_bottom(slot.value):
+                    if best is None or slot.acc_prop > best[0]:
+                        best = (slot.acc_prop, slot.value)
+        return self.value if best is None else best[1]
+
+
+class ProtectedMemoryPaxos(ConsensusProtocol):
+    """Algorithm 7 as a pluggable protocol."""
+
+    name = "protected-memory-paxos"
+
+    def __init__(self, config: Optional[PmpConfig] = None) -> None:
+        self.config = config or PmpConfig()
+
+    def regions(self, n_processes: int, n_memories: int) -> List[RegionSpec]:
+        return pmp_regions(n_processes, self.config.initial_leader)
+
+    def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        node = PmpNode(env, value, self.config)
+        return [("pmp-listener", node.listener()), ("pmp-proposer", node.proposer())]

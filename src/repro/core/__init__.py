@@ -1,0 +1,5 @@
+"""Public API: configure a cluster, run a consensus instance, inspect results."""
+
+from repro.core.cluster import Cluster, ClusterConfig, RunResult, run_consensus
+
+__all__ = ["Cluster", "ClusterConfig", "RunResult", "run_consensus"]

@@ -1,0 +1,223 @@
+"""Cluster assembly and the one-call experiment runner.
+
+:func:`run_consensus` is the front door used by examples, tests and
+benchmarks: build an M&M cluster, install a protocol and a fault plan, run
+to quiescence or deadline, and return a :class:`RunResult` with decisions,
+delay counts and counters.
+
+    from repro import run_consensus, ProtectedMemoryPaxos
+
+    result = run_consensus(
+        ProtectedMemoryPaxos(), n_processes=3, n_memories=3,
+        inputs=["a", "b", "c"],
+    )
+    assert result.agreed and result.earliest_decision_delay == 2.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.consensus.base import ConsensusProtocol
+from repro.errors import ConfigurationError
+from repro.failures.plans import FaultPlan
+from repro.mem.layout import MemoryLayout
+from repro.metrics.ledger import MetricsLedger
+from repro.sim.environment import ProcessEnv
+from repro.sim.kernel import Kernel, SimConfig
+from repro.sim.latency import LatencyModel, NominalLatency
+from repro.types import ProcessId
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to stand up one simulated M&M system."""
+
+    n_processes: int
+    n_memories: int = 3
+    latency: LatencyModel = field(default_factory=NominalLatency)
+    seed: int = 0
+    trace: bool = False
+    strict_safety: bool = True
+    omega: Optional[object] = None  # OmegaFn; default: p1 forever
+    deadline: float = 10_000.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one consensus run."""
+
+    kernel: Kernel
+    inputs: List[Any]
+    all_decided: bool
+    final_time: float
+
+    @property
+    def metrics(self) -> MetricsLedger:
+        return self.kernel.metrics
+
+    @property
+    def decisions(self) -> Dict[ProcessId, Any]:
+        return {
+            pid: record.value for pid, record in self.metrics.decisions.items()
+        }
+
+    @property
+    def decided_values(self) -> Set[Any]:
+        return self.metrics.decided_values()
+
+    @property
+    def agreed(self) -> bool:
+        """Agreement over correct processes (and at least one decision)."""
+        values = self.decided_values
+        return len(values) == 1 and not self.metrics.violations
+
+    @property
+    def valid(self) -> bool:
+        """Weak validity: every decided value was somebody's input."""
+        return all(value in self.inputs for value in self.decided_values)
+
+    @property
+    def earliest_decision_delay(self) -> Optional[float]:
+        return self.metrics.earliest_decision_delay()
+
+    def delay_of(self, pid: int) -> Optional[float]:
+        return self.metrics.delays_of(ProcessId(pid))
+
+    @property
+    def signatures_used(self) -> int:
+        return self.metrics.total_signatures()
+
+    def summary(self) -> str:
+        """Human-readable one-screen account of the run."""
+        lines = [
+            f"run finished at t={self.final_time:g} "
+            f"({'all decided' if self.all_decided else 'NOT all decided'})",
+            f"  agreement: {'ok' if self.agreed or not self.decided_values else 'VIOLATED'}"
+            + (f" ({len(self.metrics.violations)} violations)" if self.metrics.violations else ""),
+            f"  validity : {'ok' if self.valid else 'VIOLATED'}",
+        ]
+        for pid in sorted(self.metrics.decisions):
+            record = self.metrics.decisions[pid]
+            delay = "?" if record.delays is None else f"{record.delays:g}"
+            lines.append(
+                f"  p{int(pid)+1}: decided {record.value!r} at t={record.decided_at:g} "
+                f"({delay} delays)"
+            )
+        lines.append(
+            f"  totals: {self.metrics.total_messages()} messages, "
+            f"{self.metrics.total_mem_ops()} memory ops, "
+            f"{self.metrics.total_signatures()} signatures"
+        )
+        return "\n".join(lines)
+
+
+class Cluster:
+    """A configured kernel plus protocol wiring, ready to run."""
+
+    def __init__(
+        self,
+        protocol: ConsensusProtocol,
+        config: ClusterConfig,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.config = config
+        self.faults = faults or FaultPlan()
+        self.faults.validate(config.n_processes, config.n_memories)
+
+        layout = MemoryLayout(
+            list(protocol.regions(config.n_processes, config.n_memories))
+        )
+        sim_config = SimConfig(
+            n_processes=config.n_processes,
+            n_memories=config.n_memories,
+            latency=config.latency,
+            seed=config.seed,
+            trace=config.trace,
+            strict_safety=config.strict_safety,
+            omega=config.omega,
+        )
+        self.kernel = Kernel(sim_config, layout)
+        self.envs: Dict[int, ProcessEnv] = {}
+
+    def env_for(self, pid: int) -> ProcessEnv:
+        if pid not in self.envs:
+            self.envs[pid] = ProcessEnv(self.kernel, ProcessId(pid))
+        return self.envs[pid]
+
+    def start(self, inputs: Sequence[Any]) -> None:
+        """Install faults and spawn every process's tasks."""
+        if len(inputs) != self.config.n_processes:
+            raise ConfigurationError(
+                f"need {self.config.n_processes} inputs, got {len(inputs)}"
+            )
+        self.faults.install(self.kernel)
+        for pid in range(self.config.n_processes):
+            env = self.env_for(pid)
+            strategy = self.faults.byzantine.get(pid)
+            if strategy is not None:
+                tasks = strategy.tasks(env, inputs[pid])
+            else:
+                env.mark_proposed()
+                tasks = self.protocol.tasks(env, inputs[pid])
+            for name, gen in tasks:
+                self.kernel.spawn(pid, name, gen)
+
+    def run(self, inputs: Sequence[Any]) -> RunResult:
+        """Start and run until all correct live processes decide (or deadline)."""
+        self.start(inputs)
+        expect: Set[ProcessId] = {
+            ProcessId(p)
+            for p in range(self.config.n_processes)
+            if p not in self.faults.faulty_processes
+        }
+        done = self.kernel.run_until_decided(expect, deadline=self.config.deadline)
+        return RunResult(
+            kernel=self.kernel,
+            inputs=list(inputs),
+            all_decided=done,
+            final_time=self.kernel.now,
+        )
+
+
+def run_consensus(
+    protocol: ConsensusProtocol,
+    n_processes: int,
+    n_memories: int = 3,
+    inputs: Optional[Sequence[Any]] = None,
+    faults: Optional[FaultPlan] = None,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    omega: Optional[object] = None,
+    deadline: float = 10_000.0,
+    strict_safety: bool = True,
+    trace: bool = False,
+) -> RunResult:
+    """Run one consensus instance and return its :class:`RunResult`.
+
+    Pass ``omega="crash-aware"`` for the eventually-accurate failure
+    detector that skips crashed processes (wired after kernel creation,
+    since it needs the kernel's ground truth).
+    """
+    crash_aware = omega == "crash-aware"
+    config = ClusterConfig(
+        n_processes=n_processes,
+        n_memories=n_memories,
+        latency=latency or NominalLatency(),
+        seed=seed,
+        trace=trace,
+        strict_safety=strict_safety,
+        omega=None if crash_aware else omega,
+        deadline=deadline,
+    )
+    cluster = Cluster(protocol, config, faults)
+    if crash_aware:
+        from repro.consensus.omega import crash_aware_omega
+
+        cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+    run_inputs = list(inputs) if inputs is not None else [
+        f"value-{p + 1}" for p in range(n_processes)
+    ]
+    return cluster.run(run_inputs)

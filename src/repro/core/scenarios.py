@@ -1,0 +1,141 @@
+"""Canned experiment scenarios.
+
+Benchmarks, examples and downstream users keep re-building the same
+configurations; this module names them.  Every scenario returns a fully
+wired :class:`~repro.core.cluster.Cluster` so callers can still inspect the
+kernel, tweak Ω, or inject extra faults before running.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.consensus.aligned_paxos import AlignedConfig, AlignedPaxos
+from repro.consensus.base import ConsensusProtocol
+from repro.consensus.cheap_quorum import CheapQuorumConfig
+from repro.consensus.fast_robust import FastRobust, FastRobustConfig
+from repro.consensus.omega import crash_aware_omega
+from repro.consensus.protected_memory_paxos import ProtectedMemoryPaxos
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.failures.byzantine import ByzantineStrategy
+from repro.failures.plans import FaultPlan
+from repro.sim.latency import LatencyModel, NominalLatency, PartialSynchrony
+
+
+def common_case(
+    protocol: ConsensusProtocol,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """The paper's common-case execution: synchronous, failure-free."""
+    return Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=30_000),
+    )
+
+
+def leader_crash(
+    protocol: ConsensusProtocol,
+    crash_at: float = 1.0,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """Initial leader crashes at *crash_at*; Ω tracks the crash."""
+    faults = FaultPlan().crash_process(0, at=crash_at)
+    cluster = Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=30_000),
+        faults,
+    )
+    cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+    return cluster
+
+
+def memory_minority_crash(
+    protocol: ConsensusProtocol,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """Crash the largest tolerable set of memories, all at t=0."""
+    faults = FaultPlan()
+    for mid in range((n_memories - 1) // 2):
+        faults.crash_memory(mid, at=0.0)
+    return Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=30_000),
+        faults,
+    )
+
+
+def byzantine_seat(
+    strategy: ByzantineStrategy,
+    seat: int = 2,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    honest_leader: Optional[int] = None,
+    seed: int = 0,
+) -> Cluster:
+    """Fast & Robust with one Byzantine process running *strategy*.
+
+    Timeouts are shortened so the fallback engages quickly; pass
+    ``honest_leader`` when the strategy occupies the leader seat.
+    """
+    config = FastRobustConfig(
+        cheap_quorum=CheapQuorumConfig(leader_timeout=15.0, unanimity_timeout=25.0)
+    )
+    faults = FaultPlan().make_byzantine(seat, strategy)
+    omega = None if honest_leader is None else (lambda now: honest_leader)
+    return Cluster(
+        FastRobust(config),
+        ClusterConfig(
+            n_processes, n_memories, seed=seed, deadline=60_000, omega=omega
+        ),
+        faults,
+    )
+
+
+def mixed_agent_crashes(
+    proc_crashes: Sequence[int],
+    mem_crashes: Sequence[int],
+    n_processes: int = 3,
+    n_memories: int = 3,
+    variant: str = "protected",
+    seed: int = 0,
+) -> Cluster:
+    """Aligned Paxos with an arbitrary process/memory crash mix at t=1."""
+    faults = FaultPlan()
+    for pid in proc_crashes:
+        faults.crash_process(pid, at=1.0)
+    for mid in mem_crashes:
+        faults.crash_memory(mid, at=1.0)
+    cluster = Cluster(
+        AlignedPaxos(AlignedConfig(variant=variant)),
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=30_000),
+        faults,
+    )
+    cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+    return cluster
+
+
+def asynchronous_period(
+    protocol: ConsensusProtocol,
+    gst: float = 100.0,
+    chaos: float = 25.0,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """Partial synchrony: chaotic until *gst*, bounded afterwards."""
+    return Cluster(
+        protocol,
+        ClusterConfig(
+            n_processes,
+            n_memories,
+            latency=PartialSynchrony(gst=gst, chaos=chaos),
+            seed=seed,
+            deadline=120_000,
+        ),
+    )

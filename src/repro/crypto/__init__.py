@@ -1,0 +1,28 @@
+"""Simulated unforgeable signatures and Cheap Quorum unanimity proofs.
+
+The paper assumes primitives ``sign(v)`` and ``sValid(p, v)``.  We realise
+them with keyed HMACs where every process holds only its own key: a
+Byzantine strategy running inside the simulator is handed its own signing
+key and the public verifier, never anybody else's key, so forgery is
+computationally excluded exactly as the paper assumes.
+"""
+
+from repro.crypto.proofs import UnanimityProof, assemble_proof, verify_proof
+from repro.crypto.signatures import (
+    Signature,
+    SignatureAuthority,
+    Signed,
+    SigningKey,
+    canonical_bytes,
+)
+
+__all__ = [
+    "Signature",
+    "SignatureAuthority",
+    "Signed",
+    "SigningKey",
+    "UnanimityProof",
+    "assemble_proof",
+    "canonical_bytes",
+    "verify_proof",
+]

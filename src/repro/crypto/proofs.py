@@ -1,0 +1,76 @@
+"""Unanimity proofs for Cheap Quorum (paper Section 4.2).
+
+A follower that sees all ``n`` processes advertise the same signed value
+assembles those ``n`` signed copies into a *unanimity proof*, signs the
+bundle, and publishes it.  A correct unanimity proof later gives the value
+top priority in Preferential Paxos (Definition 3): no two different values
+can both carry correct proofs, because a proof needs a signature from every
+process and correct processes sign at most one value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.signatures import SignatureAuthority, Signed, SigningKey
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class UnanimityProof:
+    """``n`` signed copies of one value, bundled and signed by an assembler."""
+
+    value: Any
+    copies: Tuple[Signed, ...]
+    assembler: ProcessId
+
+
+def assemble_proof(
+    authority: SignatureAuthority,
+    key: SigningKey,
+    value: Any,
+    copies: Tuple[Signed, ...],
+) -> Signed:
+    """Bundle *copies* into a signed :class:`UnanimityProof`.
+
+    The caller is responsible for having checked the copies; assembly does
+    not re-verify (a Byzantine assembler may bundle garbage — verification
+    happens at the reader, via :func:`verify_proof`).
+    """
+    proof = UnanimityProof(value=value, copies=tuple(copies), assembler=key.pid)
+    return authority.sign(key, proof)
+
+
+def verify_proof(
+    authority: SignatureAuthority,
+    signed_proof: Optional[Signed],
+    n_processes: int,
+) -> Optional[UnanimityProof]:
+    """The paper's ``verifyProof``: check a signed unanimity proof.
+
+    Returns the embedded proof when it is correct — the outer signature is
+    valid, and the bundle holds ``n`` copies of the *same* value signed by
+    ``n`` distinct processes — and None otherwise.
+    """
+    if not isinstance(signed_proof, Signed):
+        return None
+    if not authority.valid(signed_proof):
+        return None
+    proof = signed_proof.payload
+    if not isinstance(proof, UnanimityProof):
+        return None
+    if len(proof.copies) < n_processes:
+        return None
+    signers = set()
+    for copy in proof.copies:
+        if not isinstance(copy, Signed):
+            return None
+        if not authority.valid(copy):
+            return None
+        if copy.payload != proof.value:
+            return None
+        signers.add(copy.signature.signer)
+    if len(signers) < n_processes:
+        return None
+    return proof

@@ -1,0 +1,174 @@
+"""Unforgeable signatures via per-process HMAC keys.
+
+Design: a :class:`SignatureAuthority` (one per simulation) derives a secret
+key per process id.  ``sign`` requires the :class:`SigningKey` capability —
+the kernel hands each process only its own — while ``verify`` is public.
+Payloads are serialised with a small canonical encoder so that equal values
+sign identically regardless of dict ordering or dataclass identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Optional
+
+from repro.errors import SignatureError
+from repro.types import ProcessId, is_bottom
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministically encode *obj* for signing.
+
+    Supports the value types protocols put in messages and registers:
+    primitives, tuples/lists, sets/frozensets, dicts, dataclasses (including
+    :class:`Signed`/:class:`Signature`), and the register bottom ``⊥``.
+    """
+    out: list = []
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def _encode(obj: Any, out: list) -> None:
+    if obj is None:
+        out.append(b"N;")
+    elif is_bottom(obj):
+        out.append(b"_;")
+    elif isinstance(obj, bool):
+        out.append(b"b1;" if obj else b"b0;")
+    elif isinstance(obj, int):
+        out.append(b"i" + str(obj).encode() + b";")
+    elif isinstance(obj, float):
+        out.append(b"f" + repr(obj).encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        out.append(b"s" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(obj, bytes):
+        out.append(b"y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, (tuple, list)):
+        out.append(b"(")
+        for item in obj:
+            _encode(item, out)
+        out.append(b")")
+    elif isinstance(obj, (set, frozenset)):
+        out.append(b"{")
+        for item in sorted(obj, key=lambda x: canonical_bytes(x)):
+            _encode(item, out)
+        out.append(b"}")
+    elif isinstance(obj, dict):
+        out.append(b"[")
+        items = sorted(obj.items(), key=lambda kv: canonical_bytes(kv[0]))
+        for key, value in items:
+            _encode(key, out)
+            _encode(value, out)
+        out.append(b"]")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        out.append(b"d" + type(obj).__name__.encode() + b"<")
+        for f in fields(obj):
+            if not f.compare:
+                continue
+            _encode(f.name, out)
+            _encode(getattr(obj, f.name), out)
+        out.append(b">")
+    elif isinstance(obj, enum_types()):
+        out.append(b"e" + type(obj).__name__.encode() + b"." + str(obj.name).encode() + b";")
+    else:
+        raise TypeError(f"cannot canonically encode {type(obj).__name__}: {obj!r}")
+
+
+def enum_types():
+    import enum
+
+    return (enum.Enum,)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An HMAC tag binding a payload digest to a signer identity."""
+
+    signer: ProcessId
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class Signed:
+    """A payload together with its signature.
+
+    ``payload`` is the signed value; ``signature.signer`` claims authorship,
+    and :meth:`SignatureAuthority.verify` checks the claim.
+    """
+
+    payload: Any
+    signature: Signature
+
+    @property
+    def signer(self) -> ProcessId:
+        return self.signature.signer
+
+
+class SigningKey:
+    """Capability to sign as one process.
+
+    Only the :class:`SignatureAuthority` can mint these; the kernel passes
+    each process exactly its own key.  The secret is deliberately kept on a
+    private attribute: Byzantine strategies receive the key *object* for
+    their own identity only.
+    """
+
+    __slots__ = ("pid", "_secret", "_authority")
+
+    def __init__(self, pid: ProcessId, secret: bytes, authority: "SignatureAuthority"):
+        self.pid = pid
+        self._secret = secret
+        self._authority = authority
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SigningKey p{int(self.pid) + 1}>"
+
+
+class SignatureAuthority:
+    """Mints per-process keys, signs, and verifies.
+
+    A single instance is shared by one simulation.  Verification is public
+    knowledge (any process can call it); signing requires a key capability.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._root = hashlib.sha256(f"repro-authority:{seed}".encode()).digest()
+        self._keys: dict = {}
+        self.sign_count = 0
+
+    def key_for(self, pid: ProcessId) -> SigningKey:
+        """The signing key for *pid* (idempotent)."""
+        if pid not in self._keys:
+            secret = hmac.new(self._root, f"key:{int(pid)}".encode(), "sha256").digest()
+            self._keys[pid] = SigningKey(pid, secret, self)
+        return self._keys[pid]
+
+    def sign(self, key: SigningKey, payload: Any) -> Signed:
+        """Sign *payload* with *key*, returning a :class:`Signed` wrapper."""
+        if key._authority is not self:
+            raise SignatureError("signing key belongs to a different authority")
+        tag = hmac.new(key._secret, canonical_bytes(payload), "sha256").digest()
+        self.sign_count += 1
+        return Signed(payload, Signature(key.pid, tag))
+
+    def verify(self, signer: ProcessId, signed: Optional[Signed]) -> bool:
+        """The paper's ``sValid(p, v)``: is *signed* a valid signature by *signer*?"""
+        if not isinstance(signed, Signed):
+            return False
+        if signed.signature.signer != signer:
+            return False
+        key = self.key_for(signer)
+        try:
+            expected = hmac.new(
+                key._secret, canonical_bytes(signed.payload), "sha256"
+            ).digest()
+        except TypeError:
+            return False
+        return hmac.compare_digest(expected, signed.signature.tag)
+
+    def valid(self, signed: Optional[Signed]) -> bool:
+        """Verify against the signer the signature itself claims."""
+        return isinstance(signed, Signed) and self.verify(signed.signature.signer, signed)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the reproduction library.
+
+All library exceptions derive from :class:`ReproError` so callers can catch
+everything from this package with a single clause.  Safety-violation errors
+are separate from configuration errors because tests treat them differently:
+a :class:`SafetyViolation` raised during a simulation is a *finding* (the
+algorithm under test is broken), whereas a :class:`ConfigurationError` is a
+caller bug.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster or protocol was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an internal inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while tasks were still waiting."""
+
+
+class OutstandingOpError(SimulationError):
+    """A task issued a second outstanding operation on the same memory.
+
+    The model (Section 3, "Executions and steps") requires each process to
+    have at most one outstanding operation per memory; the kernel enforces
+    this per task.
+    """
+
+
+class SafetyViolation(ReproError):
+    """An agreement/validity invariant was violated during a run."""
+
+
+class AgreementViolation(SafetyViolation):
+    """Two correct processes decided different values."""
+
+
+class ValidityViolation(SafetyViolation):
+    """A decided value was not an input of any process."""
+
+
+class SignatureError(ReproError):
+    """A signature operation was attempted with a key the caller lacks."""
+
+
+class PermissionError_(ReproError):
+    """Raised only by the RDMA facade for locally detectable misuse.
+
+    The abstract memory never raises on permission problems — it returns
+    ``nak`` like the hardware would — but the facade validates handles
+    eagerly (e.g. using an rkey after deregistration).
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation detected an impossible local state."""

@@ -1,0 +1,25 @@
+"""Failure injection: crash schedules and Byzantine strategies."""
+
+from repro.failures.byzantine import (
+    ByzantineStrategy,
+    CheapQuorumEquivocatorLeader,
+    EquivocatingBroadcaster,
+    PaxosValueLiar,
+    PermissionAbuser,
+    ProofForger,
+    SilentByzantine,
+    SlotRewriter,
+)
+from repro.failures.plans import FaultPlan
+
+__all__ = [
+    "ByzantineStrategy",
+    "CheapQuorumEquivocatorLeader",
+    "EquivocatingBroadcaster",
+    "FaultPlan",
+    "PaxosValueLiar",
+    "PermissionAbuser",
+    "ProofForger",
+    "SilentByzantine",
+    "SlotRewriter",
+]

@@ -1,0 +1,64 @@
+"""Fault plans: when processes and memories crash, who is Byzantine.
+
+A :class:`FaultPlan` is declarative; :meth:`install` arms it on a kernel.
+Byzantine processes are marked here (exempting them from the agreement
+checker); their strategies are installed by the cluster runner, which
+spawns the strategy's tasks instead of the protocol's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FaultPlan:
+    """Crash times (virtual) and Byzantine membership."""
+
+    #: pid -> crash time
+    process_crashes: Dict[int, float] = field(default_factory=dict)
+    #: mid -> crash time
+    memory_crashes: Dict[int, float] = field(default_factory=dict)
+    #: pid -> strategy (any object the runner knows how to spawn)
+    byzantine: Dict[int, object] = field(default_factory=dict)
+
+    def crash_process(self, pid: int, at: float = 0.0) -> "FaultPlan":
+        self.process_crashes[pid] = at
+        return self
+
+    def crash_memory(self, mid: int, at: float = 0.0) -> "FaultPlan":
+        self.memory_crashes[mid] = at
+        return self
+
+    def make_byzantine(self, pid: int, strategy: object) -> "FaultPlan":
+        self.byzantine[pid] = strategy
+        return self
+
+    @property
+    def faulty_processes(self) -> set:
+        return set(self.process_crashes) | set(self.byzantine)
+
+    def validate(self, n_processes: int, n_memories: int) -> None:
+        for pid in self.faulty_processes:
+            if not 0 <= pid < n_processes:
+                raise ConfigurationError(f"no such process p{pid + 1}")
+        for mid in self.memory_crashes:
+            if not 0 <= mid < n_memories:
+                raise ConfigurationError(f"no such memory mu{mid + 1}")
+        overlap = set(self.process_crashes) & set(self.byzantine)
+        if overlap:
+            raise ConfigurationError(
+                f"processes {overlap} are both crashed and Byzantine"
+            )
+
+    def install(self, kernel) -> None:
+        """Arm crash timers and mark Byzantine processes on *kernel*."""
+        for pid, at in self.process_crashes.items():
+            kernel.call_at(at, lambda p=pid: kernel.crash_process(p))
+        for mid, at in self.memory_crashes.items():
+            kernel.call_at(at, lambda m=mid: kernel.crash_memory(m))
+        for pid in self.byzantine:
+            kernel.mark_byzantine(pid)

@@ -1,0 +1,34 @@
+"""Executable rendition of Theorem 6.1 (Section 6).
+
+The theorem: in shared memory with *static* permissions and no messages, no
+consensus algorithm can decide in two delays.  The proof builds two
+indistinguishable executions; this package builds them literally, using the
+programmable-adversary latency model:
+
+* :mod:`repro.lowerbound.naive_fast` — a strawman algorithm that *does*
+  decide in two delays by issuing its write and all its reads concurrently;
+* :mod:`repro.lowerbound.theorem61` — the adversary: delay the fast
+  decider's writes past a second proposer's entire solo run.  The strawman
+  violates agreement on cue; Disk Paxos survives (its confirming read costs
+  the extra delays); Protected Memory Paxos survives because the *dynamic*
+  permission grab naks the delayed write — which is exactly the paper's
+  point about why RDMA's dynamic permissions matter.
+"""
+
+from repro.lowerbound.naive_fast import NaiveFastConsensus
+from repro.lowerbound.theorem61 import (
+    AttackReport,
+    attack_disk_paxos,
+    attack_naive_fast,
+    attack_protected_memory_paxos,
+    solo_fast_delay,
+)
+
+__all__ = [
+    "AttackReport",
+    "NaiveFastConsensus",
+    "attack_disk_paxos",
+    "attack_naive_fast",
+    "attack_protected_memory_paxos",
+    "solo_fast_delay",
+]

@@ -1,0 +1,157 @@
+"""The Theorem 6.1 adversary.
+
+The proof's schedule, concretely: let ``p0`` be a 2-deciding proposer.  In
+execution ``E'`` the adversary delivers all of p0's *reads* promptly but
+holds its *writes* in flight; a second proposer ``p1`` starts after p0's
+reads returned, runs solo to a decision, and only then do p0's writes land.
+p0's responses are identical to its solo execution ``E``, so it decides the
+same value it would have decided alone — violating agreement if (like the
+strawman) it had no way to detect the interleaving.
+
+Why the paper's algorithms escape:
+
+* **Disk Paxos** is not 2-deciding: its decision is sequenced *after* a
+  confirming read that necessarily observes p1 (the delayed write must land
+  before the read is issued), so it aborts and retries — safety at the cost
+  of two extra delays.
+* **Protected Memory Paxos** keeps two delays and is still safe because
+  the permission state is *dynamic*: p1's takeover revokes p0's write
+  permission, so p0's delayed write returns ``nak`` and p0 knows not to
+  decide — the write itself carries the contention signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.consensus.disk_paxos import DiskPaxos, DiskPaxosConfig
+from repro.consensus.omega import leader_schedule
+from repro.consensus.protected_memory_paxos import PmpConfig, ProtectedMemoryPaxos
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.lowerbound.naive_fast import NaiveFastConsensus
+from repro.sim.latency import AdversarialLatency
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one adversarial schedule."""
+
+    algorithm: str
+    agreement_violated: bool
+    violations: List[str]
+    decisions: Dict[int, Any]
+    fast_path_write_naked: bool = False
+    final_time: float = 0.0
+    detail: str = ""
+
+
+def _delay_writes_of_p0(write_delay: float):
+    """Latency override: p0's memory *requests* crawl, everything else is
+    nominal.  (Delaying requests holds the write in flight; p0's reads are
+    to different memories in the strawman, or delayed symmetrically for the
+    real protocols, which only stretches their solo prefix.)"""
+
+    def override(kind: str, actor, peer, now: float) -> Optional[float]:
+        if kind == "mem_req" and int(actor) == 0:
+            return write_delay
+        return None
+
+    return override
+
+
+def _delay_only_own_memory(write_delay: float):
+    """Strawman-specific override: delay p0's ops on its *own* memory (its
+    write target); reads of other memories stay fast — the exact read/write
+    split of the proof."""
+
+    def override(kind: str, actor, peer, now: float) -> Optional[float]:
+        if kind == "mem_req" and int(actor) == 0 and int(peer) == 0:
+            return write_delay
+        return None
+
+    return override
+
+
+def solo_fast_delay(n_memories: int = 2) -> float:
+    """Execution E: the strawman running alone decides in two delays."""
+    cluster = Cluster(
+        NaiveFastConsensus(),
+        ClusterConfig(n_processes=1, n_memories=n_memories, deadline=100),
+    )
+    result = cluster.run(["solo"])
+    return result.earliest_decision_delay
+
+
+def attack_naive_fast(write_delay: float = 200.0) -> AttackReport:
+    """Execution E': the strawman violates agreement on cue."""
+    config = ClusterConfig(
+        n_processes=2,
+        n_memories=2,
+        latency=AdversarialLatency(_delay_only_own_memory(write_delay)),
+        strict_safety=False,  # we *want* to observe the violation
+        deadline=write_delay * 3,
+    )
+    cluster = Cluster(NaiveFastConsensus(), config)
+    cluster.run(["value-A", "value-B"])
+    metrics = cluster.kernel.metrics
+    decisions = {int(p): r.value for p, r in metrics.decisions.items()}
+    return AttackReport(
+        algorithm="naive-fast (strawman)",
+        agreement_violated=bool(metrics.violations),
+        violations=list(metrics.violations),
+        decisions=decisions,
+        final_time=cluster.kernel.now,
+        detail="p0's solo-indistinguishable responses made it decide its own value",
+    )
+
+
+def attack_protected_memory_paxos(write_delay: float = 200.0) -> AttackReport:
+    """Same adversary against PMP: the delayed write NAKs — no violation."""
+    config = ClusterConfig(
+        n_processes=2,
+        n_memories=3,
+        latency=AdversarialLatency(_delay_writes_of_p0(write_delay)),
+        strict_safety=True,  # any violation raises: the attack must fail
+        omega=leader_schedule([(0.0, 0), (1.0, 1)]),
+        deadline=write_delay * 5,
+    )
+    cluster = Cluster(ProtectedMemoryPaxos(PmpConfig()), config)
+    cluster.run(["value-A", "value-B"])
+    # Run on past the decisions so p0's held-back write finally lands and
+    # we can observe the permission system nak it.
+    cluster.kernel.run(until=write_delay * 2)
+    metrics = cluster.kernel.metrics
+    naked = any(memory.counts.naks > 0 for memory in cluster.kernel.memories)
+    return AttackReport(
+        algorithm="protected-memory-paxos",
+        agreement_violated=bool(metrics.violations),
+        violations=list(metrics.violations),
+        decisions={int(p): r.value for p, r in metrics.decisions.items()},
+        fast_path_write_naked=naked,
+        final_time=cluster.kernel.now,
+        detail="p1's permission grab made p0's in-flight write nak",
+    )
+
+
+def attack_disk_paxos(write_delay: float = 200.0) -> AttackReport:
+    """Same adversary against Disk Paxos: the confirming read saves it."""
+    config = ClusterConfig(
+        n_processes=2,
+        n_memories=3,
+        latency=AdversarialLatency(_delay_writes_of_p0(write_delay)),
+        strict_safety=True,
+        omega=leader_schedule([(0.0, 0), (1.0, 1)]),
+        deadline=write_delay * 5,
+    )
+    cluster = Cluster(DiskPaxos(DiskPaxosConfig()), config)
+    result = cluster.run(["value-A", "value-B"])
+    metrics = cluster.kernel.metrics
+    return AttackReport(
+        algorithm="disk-paxos",
+        agreement_violated=bool(metrics.violations),
+        violations=list(metrics.violations),
+        decisions={int(p): r.value for p, r in metrics.decisions.items()},
+        final_time=cluster.kernel.now,
+        detail="p0's read-back observed p1's higher ballot and restarted",
+    )

@@ -1,0 +1,35 @@
+"""The shared-memory half of the M&M model (paper Section 3).
+
+Each :class:`~repro.mem.memory.Memory` hosts registers addressed by
+structured keys, grouped into :class:`~repro.mem.regions.RegionSpec` regions.
+A region carries a permission triple ``(R, W, RW)`` and an optional
+``legalChange`` policy governing dynamic permission changes.  Crashed
+memories hang: operations sent to them never return.
+"""
+
+from repro.mem.layout import MemoryLayout
+from repro.mem.memory import Memory
+from repro.mem.operations import ChangePermissionOp, ReadOp, SnapshotOp, WriteOp
+from repro.mem.permissions import (
+    Permission,
+    allow_any_change,
+    exclusive_grab_policy,
+    revoke_only_policy,
+    static_permissions,
+)
+from repro.mem.regions import RegionSpec
+
+__all__ = [
+    "ChangePermissionOp",
+    "Memory",
+    "MemoryLayout",
+    "Permission",
+    "ReadOp",
+    "RegionSpec",
+    "SnapshotOp",
+    "WriteOp",
+    "allow_any_change",
+    "exclusive_grab_policy",
+    "revoke_only_policy",
+    "static_permissions",
+]

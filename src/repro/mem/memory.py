@@ -1,0 +1,159 @@
+"""One shared memory: registers + per-region permission state + crash flag.
+
+The memory applies operations atomically at their arrival instant (the
+simulation kernel delivers one request at a time), which yields atomic
+registers per memory; the replicated-register layer in
+:mod:`repro.registers` weakens this to the paper's regular registers when a
+logical register spans several memories.
+
+A crashed memory never responds: the kernel drops requests addressed to it,
+so callers' futures simply never resolve — indistinguishable from slowness,
+as the model requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.mem.layout import MemoryLayout
+from repro.mem.operations import (
+    ChangePermissionOp,
+    MemoryOp,
+    ReadOp,
+    SnapshotOp,
+    WriteOp,
+)
+from repro.mem.permissions import Permission
+from repro.types import (
+    BOTTOM,
+    MemoryId,
+    OpResult,
+    OpStatus,
+    ProcessId,
+    RegionId,
+    RegisterKey,
+)
+
+_ACK = OpStatus.ACK
+_NAK = OpStatus.NAK
+
+
+@dataclass
+class OpCounts:
+    """Operation counters kept per memory (used by metrics and tests)."""
+
+    reads: int = 0
+    writes: int = 0
+    snapshots: int = 0
+    permission_changes: int = 0
+    naks: int = 0
+
+
+class Memory:
+    """A single fail-prone shared memory (one of the paper's ``mu_i``)."""
+
+    def __init__(self, mid: MemoryId, layout: MemoryLayout) -> None:
+        self.mid = mid
+        self.layout = layout
+        self.registers: Dict[RegisterKey, Any] = {}
+        self.permissions: Dict[RegionId, Permission] = {
+            spec.region_id: spec.initial_permission for spec in layout.regions
+        }
+        self.crashed = False
+        self.counts = OpCounts()
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash this memory; subsequent operations hang (kernel drops them)."""
+        self.crashed = True
+
+    # ------------------------------------------------------------------
+    # operation processing
+    # ------------------------------------------------------------------
+    def apply(self, pid: ProcessId, op: MemoryOp) -> OpResult:
+        """Apply *op* on behalf of *pid* and return its result.
+
+        Permission failures return ``nak`` rather than raising — a Byzantine
+        process is free to *try* anything; the memory is the enforcement
+        point (the paper's small trusted component).
+        """
+        if isinstance(op, ReadOp):
+            return self._read(pid, op)
+        if isinstance(op, WriteOp):
+            return self._write(pid, op)
+        if isinstance(op, SnapshotOp):
+            return self._snapshot(pid, op)
+        if isinstance(op, ChangePermissionOp):
+            return self._change_permission(pid, op)
+        raise TypeError(f"unknown memory operation {op!r}")
+
+    def _spec_and_permission(self, region_id: RegionId):
+        spec = self.layout.by_id(region_id)
+        if spec is None:
+            return None, None
+        return spec, self.permissions[region_id]
+
+    def _read(self, pid: ProcessId, op: ReadOp) -> OpResult:
+        self.counts.reads += 1
+        spec, perm = self._spec_and_permission(op.region)
+        if spec is None or not spec.contains(op.key) or not perm.can_read(pid):
+            self.counts.naks += 1
+            return OpResult(_NAK)
+        return OpResult(_ACK, self.registers.get(tuple(op.key), BOTTOM))
+
+    def _write(self, pid: ProcessId, op: WriteOp) -> OpResult:
+        self.counts.writes += 1
+        spec, perm = self._spec_and_permission(op.region)
+        if spec is None or not spec.contains(op.key) or not perm.can_write(pid):
+            self.counts.naks += 1
+            return OpResult(_NAK)
+        self.registers[tuple(op.key)] = op.value
+        return OpResult(_ACK)
+
+    def _snapshot(self, pid: ProcessId, op: SnapshotOp) -> OpResult:
+        self.counts.snapshots += 1
+        spec, perm = self._spec_and_permission(op.region)
+        if spec is None or not perm.can_read(pid):
+            self.counts.naks += 1
+            return OpResult(_NAK)
+        prefix = tuple(op.prefix)
+        if not spec.contains(prefix):
+            self.counts.naks += 1
+            return OpResult(_NAK)
+        view = {
+            key: value
+            for key, value in self.registers.items()
+            if key[: len(prefix)] == prefix
+        }
+        return OpResult(_ACK, view)
+
+    def _change_permission(self, pid: ProcessId, op: ChangePermissionOp) -> OpResult:
+        self.counts.permission_changes += 1
+        spec, perm = self._spec_and_permission(op.region)
+        if spec is None:
+            self.counts.naks += 1
+            return OpResult(_NAK)
+        if not spec.legal_change(pid, perm, op.new_permission):
+            # Illegal change: a no-op per the model.  NAK status is
+            # informational; the permission state is untouched.
+            self.counts.naks += 1
+            return OpResult(_NAK)
+        self.permissions[op.region] = op.new_permission
+        return OpResult(_ACK)
+
+    # ------------------------------------------------------------------
+    # introspection helpers (tests, debugging)
+    # ------------------------------------------------------------------
+    def peek(self, key: RegisterKey) -> Any:
+        """Read a register without permission checks (test helper only)."""
+        return self.registers.get(tuple(key), BOTTOM)
+
+    def permission_of(self, region_id: RegionId) -> Permission:
+        return self.permissions[region_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"<Memory mu{int(self.mid) + 1} {state} {len(self.registers)} regs>"

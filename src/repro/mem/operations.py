@@ -1,0 +1,63 @@
+"""Memory operations a process can invoke (paper Section 3).
+
+``read``/``write`` address a single register within a region.  ``snapshot``
+reads every register of one region sharing a key prefix in a single
+operation — the RDMA analogue of reading a contiguous slot array with one
+verb (Section 7 describes slot arrays being read this way), and it costs the
+same two delays as any other memory operation.  ``changePermission``
+requests a permission change, subject to the region's ``legalChange``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mem.permissions import Permission
+from repro.types import RegionId, RegisterKey
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read one register. Resolves to ``OpResult(ACK, value)`` or NAK."""
+
+    region: RegionId
+    key: RegisterKey
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write one register. Resolves to ``OpResult(ACK)`` or NAK."""
+
+    region: RegionId
+    key: RegisterKey
+    value: Any
+
+
+@dataclass(frozen=True)
+class SnapshotOp:
+    """Read all registers of *region* whose key starts with *prefix*.
+
+    Resolves to ``OpResult(ACK, {key: value, ...})`` containing only
+    registers that have been written; callers treat absent keys as ``⊥``.
+    """
+
+    region: RegionId
+    prefix: RegisterKey
+
+
+@dataclass(frozen=True)
+class ChangePermissionOp:
+    """Request a permission change on *region*.
+
+    The memory evaluates the region's ``legalChange`` policy; an illegal
+    change is a no-op (the paper's semantics).  The result status reports
+    whether the change took effect (ACK) or was a no-op (NAK) — protocols in
+    the paper never rely on this status, but tests do.
+    """
+
+    region: RegionId
+    new_permission: Permission
+
+
+MemoryOp = ReadOp | WriteOp | SnapshotOp | ChangePermissionOp

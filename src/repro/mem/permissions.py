@@ -1,0 +1,115 @@
+"""Permission triples and ``legalChange`` policies (paper Section 3).
+
+A permission is three disjoint sets of processes ``(R, W, RW)``: a process
+may read a region if it is in ``R`` or ``RW`` and write if in ``W`` or
+``RW``.  An algorithm declares, per region, a ``legalChange`` predicate that
+the memory evaluates whenever ``changePermission`` is invoked; if it returns
+False the change is a no-op.  ``legalChange`` is what lets algorithms expose
+*dynamic* permissions to honest protocol steps while keeping Byzantine
+processes from grabbing access they should not have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.types import ProcessId
+
+
+def _fs(processes: Iterable[int]) -> frozenset:
+    return frozenset(ProcessId(p) for p in processes)
+
+
+@dataclass(frozen=True)
+class Permission:
+    """Disjoint sets of readers, writers and reader-writers for a region."""
+
+    read: frozenset = field(default_factory=frozenset)
+    write: frozenset = field(default_factory=frozenset)
+    readwrite: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        overlap = (self.read & self.write) | (self.read & self.readwrite) | (
+            self.write & self.readwrite
+        )
+        if overlap:
+            raise ValueError(f"permission sets must be disjoint, overlap={overlap}")
+
+    def can_read(self, pid: ProcessId) -> bool:
+        """True if *pid* has read permission (member of R or RW)."""
+        return pid in self.read or pid in self.readwrite
+
+    def can_write(self, pid: ProcessId) -> bool:
+        """True if *pid* has write permission (member of W or RW)."""
+        return pid in self.write or pid in self.readwrite
+
+    @staticmethod
+    def swmr(owner: int, all_processes: Iterable[int]) -> "Permission":
+        """Single-Writer Multi-Reader permission: ``R = P \\ {p}, RW = {p}``."""
+        others = _fs(p for p in all_processes if p != owner)
+        return Permission(read=others, readwrite=_fs([owner]))
+
+    @staticmethod
+    def exclusive_writer(owner: int, all_processes: Iterable[int]) -> "Permission":
+        """One exclusive reader-writer, everyone else read-only.
+
+        This is the Protected Memory Paxos permission shape:
+        ``(R: P - {p}, W: empty, RW: {p})``.
+        """
+        others = _fs(p for p in all_processes if p != owner)
+        return Permission(read=others, readwrite=_fs([owner]))
+
+    @staticmethod
+    def read_only(all_processes: Iterable[int]) -> "Permission":
+        """Everyone may read, nobody may write (Cheap Quorum post-revocation)."""
+        return Permission(read=_fs(all_processes))
+
+    @staticmethod
+    def open(all_processes: Iterable[int]) -> "Permission":
+        """Everyone may read and write (the Disk Paxos model, Section 3)."""
+        return Permission(readwrite=_fs(all_processes))
+
+
+#: ``legalChange(pid, old, new) -> bool`` — evaluated at the memory.
+LegalChangeFn = Callable[[ProcessId, Permission, Permission], bool]
+
+
+def static_permissions(pid: ProcessId, old: Permission, new: Permission) -> bool:
+    """The always-False policy: permissions are static (paper Section 3)."""
+    return False
+
+
+def allow_any_change(pid: ProcessId, old: Permission, new: Permission) -> bool:
+    """The always-True policy (useful only in crash-fault settings)."""
+    return True
+
+
+def revoke_only_policy(target: Permission) -> LegalChangeFn:
+    """Allow only changes to exactly *target* (typically a revocation).
+
+    Cheap Quorum uses this for the leader region: the only legal change is
+    removing the leader's write permission, i.e. switching to read-only for
+    everybody (paper Section 4.2).
+    """
+
+    def policy(pid: ProcessId, old: Permission, new: Permission) -> bool:
+        return new == target
+
+    return policy
+
+
+def exclusive_grab_policy(all_processes: Iterable[int]) -> LegalChangeFn:
+    """Allow any process to grab exclusive write access for itself.
+
+    Protected Memory Paxos' permission shape: a new leader ``p`` may switch a
+    region to ``(R: P - {p}, W: empty, RW: {p})``, and only to that shape for
+    itself — a process cannot hand exclusivity to somebody else.
+    """
+
+    processes = _fs(all_processes)
+
+    def policy(pid: ProcessId, old: Permission, new: Permission) -> bool:
+        return new == Permission.exclusive_writer(pid, processes)
+
+    return policy

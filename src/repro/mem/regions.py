@@ -1,0 +1,48 @@
+"""Memory regions: named sets of registers with a permission (Section 3).
+
+A region is identified by a short string id and *contains* every register
+whose structured key starts with the region's key prefix.  This mirrors how
+RDMA registers a contiguous buffer: the registers of one region live side by
+side, and a single verb can read the whole array (:class:`SnapshotOp`).
+
+Regions may in principle overlap (the model allows it); the algorithms in
+the paper never use overlapping regions, and :class:`~repro.mem.layout.MemoryLayout`
+rejects overlapping prefixes to catch configuration mistakes early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.permissions import LegalChangeFn, Permission, static_permissions
+from repro.types import RegionId, RegisterKey
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Declarative description of one memory region.
+
+    Attributes:
+        region_id: unique short name, e.g. ``"pmp:slots"``.
+        prefix: the region contains every register key starting with this
+            tuple prefix.
+        initial_permission: permission installed when the memory boots.
+        legal_change: ``legalChange`` policy for this region; defaults to
+            static permissions (all changes are no-ops).
+    """
+
+    region_id: RegionId
+    prefix: RegisterKey
+    initial_permission: Permission
+    legal_change: LegalChangeFn = field(default=static_permissions, compare=False)
+
+    def contains(self, key: RegisterKey) -> bool:
+        """True if register *key* belongs to this region (prefix match)."""
+        return len(key) >= len(self.prefix) and tuple(key[: len(self.prefix)]) == tuple(
+            self.prefix
+        )
+
+    def overlaps(self, other: "RegionSpec") -> bool:
+        """True if the two regions could share a register."""
+        shorter, longer = sorted((self.prefix, other.prefix), key=len)
+        return tuple(longer[: len(shorter)]) == tuple(shorter)

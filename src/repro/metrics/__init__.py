@@ -1,0 +1,6 @@
+"""Measurement: decision delays, signature counts, safety-violation capture."""
+
+from repro.metrics.ledger import DecisionRecord, MetricsLedger
+from repro.metrics.reporting import format_table
+
+__all__ = ["DecisionRecord", "MetricsLedger", "format_table"]

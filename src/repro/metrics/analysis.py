@@ -1,0 +1,90 @@
+"""Multi-seed sweeps and distribution summaries.
+
+The paper's delay counts are single-schedule statements; systems readers
+also want distributions ("what does the fast path look like under jitter?").
+This module runs a protocol across seeds and summarizes decision-delay
+distributions with numpy — used by the latency-distribution benchmark and
+available to downstream users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.consensus.base import ConsensusProtocol
+from repro.core.cluster import run_consensus
+from repro.sim.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Summary of a decision-delay sample."""
+
+    n_samples: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+    undecided: int
+
+    def row(self) -> List[str]:
+        return [
+            str(self.n_samples),
+            f"{self.mean:.2f}",
+            f"{self.p50:.2f}",
+            f"{self.p90:.2f}",
+            f"{self.p99:.2f}",
+            f"{self.minimum:.2f}",
+            f"{self.maximum:.2f}",
+        ]
+
+
+def summarize(samples: Sequence[float], undecided: int = 0) -> DelayStats:
+    """Distribution summary of *samples* (must be non-empty)."""
+    if not samples:
+        raise ValueError("no samples to summarize")
+    array = np.asarray(samples, dtype=float)
+    return DelayStats(
+        n_samples=len(samples),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        undecided=undecided,
+    )
+
+
+def sweep_decision_delays(
+    protocol_factory: Callable[[], ConsensusProtocol],
+    seeds: Sequence[int],
+    latency_factory: Optional[Callable[[], LatencyModel]] = None,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    deadline: float = 30_000.0,
+) -> DelayStats:
+    """Earliest-decision delay across *seeds*; undecided runs are counted
+    separately (they carry no delay sample)."""
+    samples: List[float] = []
+    undecided = 0
+    for seed in seeds:
+        result = run_consensus(
+            protocol_factory(),
+            n_processes,
+            n_memories,
+            latency=latency_factory() if latency_factory else None,
+            seed=seed,
+            deadline=deadline,
+        )
+        delay = result.earliest_decision_delay
+        if delay is None:
+            undecided += 1
+        else:
+            samples.append(delay)
+    return summarize(samples, undecided=undecided)

@@ -1,0 +1,169 @@
+"""The metrics ledger: everything a run records about itself.
+
+Delay accounting follows the paper's complexity metric (Section 3,
+"Complexity of algorithms"): under the nominal latency model a message costs
+one virtual time unit and a memory operation two (request + response), and
+computation is instantaneous — so a process's decision time minus its
+proposal time *is* its decision delay count.  ``delays_of`` exposes exactly
+that difference.
+
+The ledger is also the safety monitor: every ``decide`` is checked against
+previous decisions, and agreement violations are recorded (and raised when
+``strict_safety`` is on, the default).  Benchmarks that *demonstrate*
+violations — the Theorem 6.1 refutation harness — run with strict safety
+off and read the violation log instead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AgreementViolation
+from repro.types import ProcessId
+
+
+@dataclass
+class DecisionRecord:
+    """One process's irrevocable decision."""
+
+    pid: ProcessId
+    value: Any
+    decided_at: float
+    proposed_at: Optional[float]
+    #: how many values this process had signed when it decided — the
+    #: paper's "one signature" fast-path claim is measured against this
+    signatures_at_decision: int = 0
+
+    @property
+    def delays(self) -> Optional[float]:
+        """Decision latency in network delays (nominal latency model)."""
+        if self.proposed_at is None:
+            return None
+        return self.decided_at - self.proposed_at
+
+
+@dataclass
+class MetricsLedger:
+    """Counters and records accumulated by one simulation."""
+
+    strict_safety: bool = True
+    decisions: Dict[ProcessId, DecisionRecord] = field(default_factory=dict)
+    #: multi-shot decisions: instance -> pid -> record
+    instance_decisions: Dict[Any, Dict[ProcessId, DecisionRecord]] = field(
+        default_factory=dict
+    )
+    proposals: Dict[ProcessId, float] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    messages_sent: Counter = field(default_factory=Counter)
+    mem_ops: Counter = field(default_factory=Counter)
+    signatures: Counter = field(default_factory=Counter)
+    #: processes whose decisions are exempt from the agreement check
+    #: (declared Byzantine by the failure plan)
+    byzantine: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_proposal(self, pid: ProcessId, now: float) -> None:
+        """Remember when *pid* first proposed (baseline for delay counts)."""
+        self.proposals.setdefault(pid, now)
+
+    def record_decision(
+        self, pid: ProcessId, value: Any, now: float, instance: Any = None
+    ) -> None:
+        """Record a decision and enforce irrevocability + agreement.
+
+        ``instance`` separates decisions of multi-shot protocols (one per
+        replicated-log slot); agreement is checked within each instance.
+        ``instance=None`` is the default single-shot decision slot.
+        Decisions of Byzantine processes are logged but never checked — the
+        agreement property quantifies over correct processes only.
+        """
+        book = (
+            self.decisions
+            if instance is None
+            else self.instance_decisions.setdefault(instance, {})
+        )
+        previous = book.get(pid)
+        if previous is not None:
+            if previous.value != value and pid not in self.byzantine:
+                self._violation(
+                    f"process p{int(pid)+1} decided {previous.value!r} then "
+                    f"{value!r} (instance={instance!r})"
+                )
+            return
+        record = DecisionRecord(
+            pid=pid,
+            value=value,
+            decided_at=now,
+            proposed_at=self.proposals.get(pid),
+            signatures_at_decision=self.signatures[pid],
+        )
+        book[pid] = record
+        self._check_agreement(book, record, instance)
+
+    def _check_agreement(self, book, record: DecisionRecord, instance: Any) -> None:
+        if record.pid in self.byzantine:
+            return
+        for other in book.values():
+            if other.pid in self.byzantine or other.pid == record.pid:
+                continue
+            if other.value != record.value:
+                self._violation(
+                    f"agreement violated (instance={instance!r}): "
+                    f"p{int(other.pid)+1} decided {other.value!r} but "
+                    f"p{int(record.pid)+1} decided {record.value!r}"
+                )
+
+    def _violation(self, description: str) -> None:
+        self.violations.append(description)
+        if self.strict_safety:
+            raise AgreementViolation(description)
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def count_message(self, pid: ProcessId) -> None:
+        self.messages_sent[pid] += 1
+
+    def count_mem_op(self, pid: ProcessId, kind: str) -> None:
+        self.mem_ops[pid, kind] += 1
+
+    def count_signature(self, pid: ProcessId) -> None:
+        self.signatures[pid] += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def decided_values(self, exclude_byzantine: bool = True) -> set:
+        """The set of values decided by (correct) processes."""
+        return {
+            rec.value
+            for rec in self.decisions.values()
+            if not (exclude_byzantine and rec.pid in self.byzantine)
+        }
+
+    def delays_of(self, pid: ProcessId) -> Optional[float]:
+        """Decision delay of *pid* in the paper's delay units, or None."""
+        record = self.decisions.get(pid)
+        return None if record is None else record.delays
+
+    def earliest_decision_delay(self) -> Optional[float]:
+        """Delay of the earliest decision — the paper's "k-deciding" k."""
+        delays = [
+            rec.delays
+            for rec in self.decisions.values()
+            if rec.delays is not None and rec.pid not in self.byzantine
+        ]
+        return min(delays) if delays else None
+
+    def total_signatures(self) -> int:
+        return sum(self.signatures.values())
+
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+    def total_mem_ops(self) -> int:
+        return sum(self.mem_ops.values())

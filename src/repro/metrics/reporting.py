@@ -1,0 +1,37 @@
+"""ASCII table formatting for benchmark output.
+
+Benchmarks print paper-shaped tables (the rows the paper reports, plus our
+measured column); this module renders them without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a monospace table with a header rule.
+
+    >>> print(format_table(["algo", "delays"], [["PMP", 2.0]]))
+    algo | delays
+    -----+-------
+    PMP  | 2.0
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(list(headers)), rule]
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_check(label: str, ok: bool) -> str:
+    """One-line pass/fail marker used in benchmark summaries."""
+    return f"[{'PASS' if ok else 'FAIL'}] {label}"

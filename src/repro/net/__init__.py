@@ -1,0 +1,13 @@
+"""The message-passing half of the M&M model (paper Section 3).
+
+Links provide *integrity* (a message is received at most once and only if it
+was sent — receivers learn the true sender identity from the link, which a
+Byzantine process cannot spoof) and *no-loss* (a message between correct
+processes is eventually delivered).  Delivery timing is governed by the
+kernel's latency model.
+"""
+
+from repro.net.messages import Envelope
+from repro.net.network import Network, RecvWaiter
+
+__all__ = ["Envelope", "Network", "RecvWaiter"]

@@ -1,0 +1,37 @@
+"""Message envelopes.
+
+Every message travels in an :class:`Envelope` stamped by the kernel with the
+true sender — this is the link-integrity property from Section 3: a
+Byzantine process may send arbitrary *payloads* but cannot make a message
+appear to come from somebody else.  ``topic`` routes messages to the
+protocol layer that should consume them (several protocol stacks share one
+process's inbox, e.g. Cheap Quorum panic relays next to Paxos traffic).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import ProcessId
+
+_msg_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight or delivered."""
+
+    src: ProcessId
+    dst: ProcessId
+    topic: str
+    payload: Any
+    sent_at: float
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<msg#{self.msg_id} p{int(self.src)+1}->p{int(self.dst)+1} "
+            f"{self.topic}: {self.payload!r}>"
+        )

@@ -1,0 +1,110 @@
+"""Inbox management and receive matching.
+
+The :class:`Network` owns per-process inboxes and the set of parked
+``recv`` waiters.  The kernel calls :meth:`deliver` when a message's flight
+time elapses; if a parked waiter matches, the kernel is told which task to
+wake, otherwise the envelope queues in the inbox for a later ``recv``.
+
+Duplicate-delivery protection (link integrity) is enforced with a delivered
+message-id set; the kernel never schedules the same envelope twice, so this
+guards against future transport extensions rather than current behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
+
+from repro.net.messages import Envelope
+from repro.types import ProcessId
+
+MatchFn = Callable[[Envelope], bool]
+
+
+@dataclass
+class RecvWaiter:
+    """A task parked in ``recv`` until a matching envelope arrives."""
+
+    pid: ProcessId
+    token: int
+    topic: Optional[str]
+    match: Optional[MatchFn]
+    wake: Callable[[Envelope], None] = field(compare=False, default=None)
+
+    def accepts(self, env: Envelope) -> bool:
+        if self.topic is not None and env.topic != self.topic:
+            return False
+        if self.match is not None and not self.match(env):
+            return False
+        return True
+
+
+class Network:
+    """Per-process inboxes plus parked receivers."""
+
+    def __init__(self, n_processes: int) -> None:
+        self.inboxes: Dict[ProcessId, Deque[Envelope]] = {
+            ProcessId(p): deque() for p in range(n_processes)
+        }
+        self.waiters: Dict[ProcessId, List[RecvWaiter]] = {
+            ProcessId(p): [] for p in range(n_processes)
+        }
+        self._delivered_ids: Set[int] = set()
+        self.dropped: int = 0
+
+    # ------------------------------------------------------------------
+    # delivery path (called by the kernel at arrival time)
+    # ------------------------------------------------------------------
+    def deliver(self, env: Envelope) -> Optional[RecvWaiter]:
+        """Record *env* as delivered; return a waiter to wake, if any.
+
+        When a waiter matches, the envelope is handed to it directly and
+        never enters the inbox (exactly-once consumption).
+        """
+        if env.msg_id in self._delivered_ids:
+            self.dropped += 1
+            return None
+        self._delivered_ids.add(env.msg_id)
+        for waiter in self.waiters[env.dst]:
+            if waiter.accepts(env):
+                self.waiters[env.dst].remove(waiter)
+                return waiter
+        self.inboxes[env.dst].append(env)
+        return None
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def try_consume(
+        self, pid: ProcessId, topic: Optional[str], match: Optional[MatchFn]
+    ) -> Optional[Envelope]:
+        """Pop the first queued envelope matching (*topic*, *match*)."""
+        inbox = self.inboxes[pid]
+        for env in inbox:
+            if topic is not None and env.topic != topic:
+                continue
+            if match is not None and not match(env):
+                continue
+            inbox.remove(env)
+            return env
+        return None
+
+    def park(self, waiter: RecvWaiter) -> None:
+        """Park a receiver until :meth:`deliver` finds it a match."""
+        self.waiters[waiter.pid].append(waiter)
+
+    def unpark(self, pid: ProcessId, token: int) -> None:
+        """Remove a parked receiver (timeout fired or task died)."""
+        self.waiters[pid] = [w for w in self.waiters[pid] if w.token != token]
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def drop_process(self, pid: ProcessId) -> None:
+        """Discard a crashed process's inbox and waiters."""
+        self.inboxes[pid].clear()
+        self.waiters[pid].clear()
+
+    def pending_count(self, pid: ProcessId) -> int:
+        return len(self.inboxes[pid])

@@ -1,0 +1,16 @@
+"""RDMA-flavoured facade over the abstract M&M memory (paper Section 7).
+
+The paper's model is deliberately abstract; Section 7 explains how real
+RDMA realises it: memory regions are *registered* into *protection
+domains*, *queue pairs* are associated with a domain, remote access uses
+per-registration keys (rkeys), and revocation = deregistration.  This
+package provides that vocabulary on top of :mod:`repro.mem`, so examples
+and tests can be written against an API shaped like ibverbs while running
+on the simulator.
+"""
+
+from repro.rdma.protection_domain import ProtectionDomain, RdmaMemoryRegion
+from repro.rdma.queue_pair import QueuePair
+from repro.rdma.verbs import RdmaNic
+
+__all__ = ["ProtectionDomain", "QueuePair", "RdmaMemoryRegion", "RdmaNic"]

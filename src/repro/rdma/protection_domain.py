@@ -1,0 +1,103 @@
+"""Protection domains and memory-region registration (Section 7 semantics).
+
+A host CPU registers a memory region into a protection domain with an
+access level; registration mints an *rkey* that remote peers must present.
+Deregistering invalidates the rkey — this is how Section 7 says dynamic
+permission *revocation* is implemented ("p can revoke permissions
+dynamically by simply deregistering the memory region").
+
+The facade maps each registration onto the abstract model:
+
+* an :class:`RdmaMemoryRegion` corresponds to one model region on one
+  memory;
+* the access level corresponds to the region's permission triple;
+* presenting a stale rkey is caught locally (``PermissionError_``), while a
+  racing revocation that the requester could not know about surfaces as a
+  ``nak`` from the memory — both behaviours exist in real RDMA.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.errors import PermissionError_
+from repro.mem.permissions import Permission
+from repro.types import MemoryId, ProcessId, RegionId, RegisterKey
+
+_rkey_counter = itertools.count(0x1000)
+
+ACCESS_LEVELS = ("read", "write", "read-write")
+
+
+@dataclass(frozen=True)
+class RdmaMemoryRegion:
+    """One registration: a region of one memory, an access level, an rkey."""
+
+    rkey: int
+    mid: MemoryId
+    region: RegionId
+    prefix: RegisterKey
+    access: str
+    domain_id: int
+
+    def allows_read(self) -> bool:
+        return self.access in ("read", "read-write")
+
+    def allows_write(self) -> bool:
+        return self.access in ("write", "read-write")
+
+
+class ProtectionDomain:
+    """A host-side container associating registrations and queue pairs.
+
+    One process owns each domain; queue pairs created in the domain may be
+    handed to remote peers, who can then access any region registered in
+    the same domain (with that registration's access level) — exactly the
+    association rule Section 7 describes.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, owner: ProcessId) -> None:
+        self.domain_id = next(ProtectionDomain._ids)
+        self.owner = owner
+        self.registrations: Dict[int, RdmaMemoryRegion] = {}
+        self.queue_pair_peers: Set[ProcessId] = set()
+
+    def register(
+        self,
+        mid: MemoryId,
+        region: RegionId,
+        prefix: RegisterKey,
+        access: str = "read",
+    ) -> RdmaMemoryRegion:
+        """Register a memory region; returns the registration with its rkey."""
+        if access not in ACCESS_LEVELS:
+            raise PermissionError_(f"unknown access level {access!r}")
+        registration = RdmaMemoryRegion(
+            rkey=next(_rkey_counter),
+            mid=MemoryId(mid),
+            region=region,
+            prefix=tuple(prefix),
+            access=access,
+            domain_id=self.domain_id,
+        )
+        self.registrations[registration.rkey] = registration
+        return registration
+
+    def deregister(self, rkey: int) -> None:
+        """Invalidate a registration (Section 7's revocation primitive)."""
+        if rkey not in self.registrations:
+            raise PermissionError_(f"rkey {rkey:#x} is not registered")
+        del self.registrations[rkey]
+
+    def lookup(self, rkey: int) -> Optional[RdmaMemoryRegion]:
+        return self.registrations.get(rkey)
+
+    def associate_peer(self, peer: ProcessId) -> None:
+        self.queue_pair_peers.add(ProcessId(peer))
+
+    def peer_allowed(self, peer: ProcessId) -> bool:
+        return ProcessId(peer) in self.queue_pair_peers

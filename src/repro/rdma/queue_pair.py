@@ -1,0 +1,46 @@
+"""Queue pairs: the RDMA connection abstraction (Section 7).
+
+A queue pair connects two processes within a protection domain.  Work
+requests (reads/writes with an rkey, or two-sided sends) are posted on the
+QP; the :class:`~repro.rdma.verbs.RdmaNic` turns them into simulator
+effects.  Destroying a QP severs the connection: further posts fail
+locally, mirroring how DARE/APUS-style systems revoke access by tearing
+down queue-pair state (the paper cites this in Section 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import PermissionError_
+from repro.types import ProcessId
+
+
+@dataclass
+class QueuePair:
+    """One directed RDMA connection inside a protection domain."""
+
+    qp_num: int
+    local: ProcessId
+    remote: ProcessId
+    domain_id: int
+    destroyed: bool = False
+
+    _ids = itertools.count(0x100)
+
+    @classmethod
+    def create(cls, local: ProcessId, remote: ProcessId, domain_id: int) -> "QueuePair":
+        return cls(
+            qp_num=next(cls._ids),
+            local=ProcessId(local),
+            remote=ProcessId(remote),
+            domain_id=domain_id,
+        )
+
+    def destroy(self) -> None:
+        self.destroyed = True
+
+    def ensure_usable(self) -> None:
+        if self.destroyed:
+            raise PermissionError_(f"queue pair {self.qp_num:#x} was destroyed")

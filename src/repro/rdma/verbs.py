@@ -1,0 +1,117 @@
+"""Verbs: posting one-sided reads/writes and two-sided sends.
+
+:class:`RdmaNic` is the per-process entry point.  One-sided verbs take a
+queue pair plus an rkey; the NIC validates what a real NIC validates
+locally (QP liveness, rkey registration, access level, domain match) and
+then issues the abstract memory operation — where the *memory-side*
+permission triple gives the final word, returning ``nak`` exactly as the
+hardware would complete with a protection error.
+
+All verbs are sub-generators (``yield from``), costing the model's usual
+delays: two per one-sided operation, one per message send.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import PermissionError_
+from repro.mem.operations import ReadOp, SnapshotOp, WriteOp
+from repro.rdma.protection_domain import ProtectionDomain, RdmaMemoryRegion
+from repro.rdma.queue_pair import QueuePair
+from repro.sim.environment import ProcessEnv
+from repro.types import OpResult, ProcessId, RegisterKey
+
+
+class RdmaNic:
+    """One process's RDMA NIC facade."""
+
+    def __init__(self, env: ProcessEnv) -> None:
+        self.env = env
+        self.domains: list = []
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def alloc_pd(self) -> ProtectionDomain:
+        """Allocate a protection domain owned by this process."""
+        domain = ProtectionDomain(self.env.pid)
+        self.domains.append(domain)
+        return domain
+
+    def create_qp(self, domain: ProtectionDomain, remote: ProcessId) -> QueuePair:
+        """Create a queue pair to *remote* inside *domain*."""
+        domain.associate_peer(remote)
+        return QueuePair.create(self.env.pid, remote, domain.domain_id)
+
+    # ------------------------------------------------------------------
+    # one-sided verbs
+    # ------------------------------------------------------------------
+    def _check(self, qp: QueuePair, registration: Optional[RdmaMemoryRegion]) -> None:
+        qp.ensure_usable()
+        if registration is None:
+            raise PermissionError_("rkey is not (or no longer) registered")
+        if registration.domain_id != qp.domain_id:
+            raise PermissionError_("rkey belongs to a different protection domain")
+
+    def post_read(
+        self,
+        qp: QueuePair,
+        registration: Optional[RdmaMemoryRegion],
+        key: RegisterKey,
+    ) -> Generator:
+        """RDMA read of one register; returns :class:`OpResult`."""
+        self._check(qp, registration)
+        if not registration.allows_read():
+            raise PermissionError_("registration does not allow remote read")
+        result = yield from self.env.read(registration.mid, registration.region, key)
+        return result
+
+    def post_read_array(
+        self,
+        qp: QueuePair,
+        registration: Optional[RdmaMemoryRegion],
+        prefix: Optional[RegisterKey] = None,
+    ) -> Generator:
+        """RDMA read of a whole registered buffer (one verb, one op)."""
+        self._check(qp, registration)
+        if not registration.allows_read():
+            raise PermissionError_("registration does not allow remote read")
+        result = yield from self.env.snapshot(
+            registration.mid, registration.region, prefix or registration.prefix
+        )
+        return result
+
+    def post_write(
+        self,
+        qp: QueuePair,
+        registration: Optional[RdmaMemoryRegion],
+        key: RegisterKey,
+        value: Any,
+    ) -> Generator:
+        """RDMA write of one register; returns :class:`OpResult`.
+
+        A write posted with a *write-capable registration* may still come
+        back ``nak`` if the memory-side permission changed concurrently —
+        the race Protected Memory Paxos exploits.
+        """
+        self._check(qp, registration)
+        if not registration.allows_write():
+            raise PermissionError_("registration does not allow remote write")
+        result = yield from self.env.write(
+            registration.mid, registration.region, key, value
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # two-sided verbs
+    # ------------------------------------------------------------------
+    def post_send(self, qp: QueuePair, payload: Any, topic: str = "rdma-send") -> Generator:
+        """Two-sided message send over the queue pair."""
+        qp.ensure_usable()
+        yield self.env.send(qp.remote, payload, topic=topic)
+
+    def poll_recv(self, topic: str = "rdma-send", timeout: Optional[float] = None) -> Generator:
+        """Receive one two-sided message; None on timeout."""
+        envelope = yield from self.env.recv(topic=topic, timeout=timeout)
+        return envelope

@@ -1,0 +1,13 @@
+"""Fault-tolerant SWMR regular registers over fail-prone memories.
+
+Section 4.1 of the paper: "To implement an SWMR register, a process writes
+or reads all memories, and waits for a majority to respond.  When reading,
+if p sees exactly one distinct non-⊥ value v across the memories, it
+returns v; otherwise, it returns ⊥."  With ``m >= 2f_M + 1`` memories this
+masks up to ``f_M`` memory crashes, and both operations still complete in
+two delays (all per-memory operations run in parallel).
+"""
+
+from repro.registers.swmr import ReplicatedRegister, ReplicatedSlotArray, swmr_regions
+
+__all__ = ["ReplicatedRegister", "ReplicatedSlotArray", "swmr_regions"]

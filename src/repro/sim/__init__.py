@@ -1,0 +1,56 @@
+"""Deterministic discrete-event simulation kernel for the M&M model.
+
+Protocol code is written as Python generators that yield *effects* (send a
+message, invoke a memory operation, wait, receive, sleep).  The kernel owns
+virtual time: a message costs one delay, a memory operation two (request +
+response), and computation is instantaneous — matching the complexity metric
+of the paper (Section 3), so measured decision times under the nominal
+latency model are exactly the paper's "k-deciding" delay counts.
+
+Everything is deterministic given a seed: the event queue breaks ties by
+insertion order and all randomness flows through one ``random.Random``.
+"""
+
+from repro.sim.effects import (
+    GateWaitEffect,
+    InvokeEffect,
+    RecvEffect,
+    SendEffect,
+    SleepEffect,
+    SpawnEffect,
+    WaitEffect,
+)
+from repro.sim.environment import ProcessEnv
+from repro.sim.futures import Gate, OpFuture
+from repro.sim.kernel import Kernel, SimConfig, Task
+from repro.sim.latency import (
+    AdversarialLatency,
+    JitteredSynchrony,
+    LatencyModel,
+    NominalLatency,
+    PartialSynchrony,
+)
+from repro.sim.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "AdversarialLatency",
+    "Gate",
+    "GateWaitEffect",
+    "InvokeEffect",
+    "JitteredSynchrony",
+    "Kernel",
+    "LatencyModel",
+    "NominalLatency",
+    "OpFuture",
+    "PartialSynchrony",
+    "ProcessEnv",
+    "RecvEffect",
+    "SendEffect",
+    "SimConfig",
+    "SleepEffect",
+    "SpawnEffect",
+    "Task",
+    "TraceEvent",
+    "Tracer",
+    "WaitEffect",
+]

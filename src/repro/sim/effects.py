@@ -1,0 +1,100 @@
+"""Effects: the requests protocol generators yield to the kernel.
+
+A protocol step is a generator; each ``yield <effect>`` hands control to the
+kernel, which performs the effect and resumes the generator with the
+effect's result:
+
+================  ==========================================  ==============
+effect            meaning                                      resume value
+================  ==========================================  ==============
+SendEffect        send a message (1 delay, non-blocking)       None
+InvokeEffect      start a memory operation (non-blocking)      OpFuture
+WaitEffect        park until k of the futures resolve          True/False*
+RecvEffect        park until a matching message arrives        Envelope/None*
+SleepEffect       park for a fixed virtual duration            None
+GateWaitEffect    park until a local gate opens                True/False*
+SpawnEffect       start another task on this process           Task
+================  ==========================================  ==============
+
+(*) False/None indicates the optional timeout elapsed first.
+
+``SendEffect``/``InvokeEffect``/``SpawnEffect`` resume immediately at the
+same virtual instant — computation is instantaneous in the model — so a
+process may, e.g., start writes to all memories in the same step and then
+``WaitEffect`` on a majority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Tuple
+
+from repro.mem.operations import MemoryOp
+from repro.net.messages import Envelope
+from repro.sim.futures import Gate, OpFuture
+from repro.types import MemoryId, ProcessId
+
+
+class Effect:
+    """Marker base class for everything a protocol generator may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SendEffect(Effect):
+    """Send *payload* to process *dst* on *topic* (fire-and-forget)."""
+
+    dst: ProcessId
+    topic: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class InvokeEffect(Effect):
+    """Invoke *op* on memory *mid*; resumes immediately with an OpFuture."""
+
+    mid: MemoryId
+    op: MemoryOp
+
+
+@dataclass(frozen=True)
+class WaitEffect(Effect):
+    """Park until *count* of *futures* resolve, or *timeout* elapses."""
+
+    futures: Tuple[OpFuture, ...]
+    count: int
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RecvEffect(Effect):
+    """Park until a message matching (*topic*, *match*) arrives."""
+
+    topic: Optional[str] = None
+    match: Optional[Callable[[Envelope], bool]] = None
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SleepEffect(Effect):
+    """Park for *duration* units of virtual time."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class GateWaitEffect(Effect):
+    """Park until *gate* is set, or *timeout* elapses."""
+
+    gate: Gate
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SpawnEffect(Effect):
+    """Start *gen* as a sibling task of the current process."""
+
+    name: str
+    gen: Generator
+    daemon: bool = True

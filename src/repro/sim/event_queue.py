@@ -1,0 +1,47 @@
+"""A deterministic time-ordered event queue.
+
+Ties at equal virtual time are broken by insertion order (a monotonically
+increasing sequence number), which makes whole simulations reproducible from
+their seed: no dict-ordering or hash randomisation can leak into schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+EventFn = Callable[[], None]
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventFn]] = []
+        self._seq = itertools.count()
+        self.pushed = 0
+        self.popped = 0
+
+    def push(self, time: float, fn: EventFn) -> None:
+        """Schedule *fn* to run at virtual *time*."""
+        if time != time or time < 0:  # NaN or negative
+            raise ValueError(f"invalid event time {time!r}")
+        heapq.heappush(self._heap, (time, next(self._seq), fn))
+        self.pushed += 1
+
+    def pop(self) -> Tuple[float, EventFn]:
+        """Remove and return the earliest ``(time, callback)``."""
+        time, _seq, fn = heapq.heappop(self._heap)
+        self.popped += 1
+        return time, fn
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled time, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

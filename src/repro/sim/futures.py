@@ -1,0 +1,110 @@
+"""Futures for in-flight memory operations, and gates (condition latches).
+
+An :class:`OpFuture` resolves when the memory's response arrives; it *never*
+resolves if the memory crashed — callers must wait on quorums (e.g.
+``m - f_M`` of ``m`` futures), which is exactly how the paper's algorithms
+are written.
+
+A :class:`Gate` is a local (same-process) level-triggered latch used to hand
+items between tasks of one process, e.g. the non-equivocating broadcast
+delivery daemon feeding the trusted-transport receive queue.  Gates are
+purely local and cost zero delays, consistent with computation being
+instantaneous in the model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.types import OpResult
+
+_future_ids = itertools.count()
+
+
+class OpFuture:
+    """Completion handle for one invoked memory operation."""
+
+    __slots__ = ("future_id", "op", "mid", "pid", "done", "result", "_waiters")
+
+    def __init__(self, pid, mid, op) -> None:
+        self.future_id = next(_future_ids)
+        self.pid = pid
+        self.mid = mid
+        self.op = op
+        self.done = False
+        self.result: Optional[OpResult] = None
+        self._waiters: List[Callable[[], None]] = []
+
+    def resolve(self, result: OpResult) -> List[Callable[[], None]]:
+        """Mark complete; return the callbacks to notify (kernel runs them)."""
+        if self.done:
+            return []
+        self.done = True
+        self.result = result
+        waiters, self._waiters = self._waiters, []
+        return waiters
+
+    def add_waiter(self, notify: Callable[[], None]) -> None:
+        if self.done:
+            notify()
+        else:
+            self._waiters.append(notify)
+
+    @property
+    def ok(self) -> bool:
+        """True if resolved with an ACK result."""
+        return self.done and self.result is not None and self.result.ok
+
+    @property
+    def value(self) -> Any:
+        """The result value (only meaningful when :attr:`ok`)."""
+        return self.result.value if self.result is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done={self.result!r}" if self.done else "pending"
+        return f"<OpFuture#{self.future_id} mu{int(self.mid)+1} {state}>"
+
+
+class Gate:
+    """A level-triggered latch connecting tasks of the same process."""
+
+    __slots__ = ("name", "is_set", "_waiters")
+
+    def __init__(self, name: str = "gate") -> None:
+        self.name = name
+        self.is_set = False
+        self._waiters: List[Callable[[], None]] = []
+
+    def set(self) -> List[Callable[[], None]]:
+        """Open the gate; return callbacks for the kernel to run."""
+        self.is_set = True
+        waiters, self._waiters = self._waiters, []
+        return waiters
+
+    def clear(self) -> None:
+        """Close the gate; future waiters block until the next :meth:`set`."""
+        self.is_set = False
+
+    def add_waiter(self, notify: Callable[[], None]) -> None:
+        if self.is_set:
+            notify()
+        else:
+            self._waiters.append(notify)
+
+    def remove_waiter(self, notify: Callable[[], None]) -> None:
+        if notify in self._waiters:
+            self._waiters.remove(notify)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gate {self.name} {'set' if self.is_set else 'clear'}>"
+
+
+def count_done(futures: Tuple[OpFuture, ...]) -> int:
+    """How many of *futures* have resolved."""
+    return sum(1 for f in futures if f.done)
+
+
+def count_acked(futures: Tuple[OpFuture, ...]) -> int:
+    """How many of *futures* resolved with ACK."""
+    return sum(1 for f in futures if f.ok)

@@ -1,0 +1,449 @@
+"""The simulation kernel: tasks, effects, virtual time, failures.
+
+One :class:`Kernel` simulates one M&M system: ``n`` processes (each running
+one or more generator *tasks*), ``m`` memories, a message network, a
+signature authority and a metrics ledger.  The kernel is single-threaded and
+deterministic: all scheduling flows through a time-ordered event queue with
+FIFO tie-breaking, and all randomness through one seeded ``Random``.
+
+Timing semantics (paper Section 3, "Complexity of algorithms"):
+
+* computation is instantaneous — a resumed task runs through any number of
+  non-blocking effects (sends, memory-op invocations, spawns) at the same
+  virtual instant until it parks on a wait/recv/sleep;
+* a message takes ``latency.message_delay`` (nominal: 1 unit);
+* a memory operation takes a request leg plus a response leg (nominal: 2).
+
+Failure semantics:
+
+* a crashed process never runs again and its inbox is dropped;
+* a crashed memory silently swallows requests — the invoking future simply
+  never resolves, indistinguishable from slowness;
+* a Byzantine process runs whatever strategy generator was installed, but
+  the memories still enforce permissions and the signature authority still
+  only gives it its own key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
+
+from repro.crypto.signatures import SignatureAuthority
+from repro.errors import OutstandingOpError, SimulationError
+from repro.mem.layout import MemoryLayout
+from repro.mem.memory import Memory
+from repro.metrics.ledger import MetricsLedger
+from repro.net.messages import Envelope
+from repro.net.network import Network, RecvWaiter
+from repro.sim.effects import (
+    Effect,
+    GateWaitEffect,
+    InvokeEffect,
+    RecvEffect,
+    SendEffect,
+    SleepEffect,
+    SpawnEffect,
+    WaitEffect,
+)
+from repro.sim.event_queue import EventQueue
+from repro.sim.futures import OpFuture
+from repro.sim.latency import LatencyModel, NominalLatency
+from repro.sim.tracing import Tracer
+from repro.types import MemoryId, ProcessId, memory_name, process_name
+
+#: Ω failure-detector oracle: maps virtual time to the current leader pid.
+OmegaFn = Callable[[float], int]
+
+
+@dataclass
+class SimConfig:
+    """Static configuration of one simulation."""
+
+    n_processes: int
+    n_memories: int = 0
+    latency: LatencyModel = field(default_factory=NominalLatency)
+    seed: int = 0
+    trace: bool = False
+    strict_safety: bool = True
+    #: enforce the model's one-outstanding-op-per-memory rule per task
+    strict_outstanding: bool = False
+    #: cap on same-instant effects one task may run (runaway detector)
+    max_inline_steps: int = 100_000
+    #: Ω oracle; default: p1 is always the leader
+    omega: Optional[OmegaFn] = None
+    #: the disk model of Section 3 has no links: sending raises
+    links_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError("need at least one process")
+        if self.n_memories < 0:
+            raise ValueError("n_memories must be >= 0")
+
+
+class Task:
+    """One generator running on one process."""
+
+    __slots__ = (
+        "task_id",
+        "pid",
+        "name",
+        "gen",
+        "started",
+        "done",
+        "result",
+        "daemon",
+        "pending_token",
+        "_token_counter",
+        "outstanding",
+    )
+
+    def __init__(self, task_id: int, pid: ProcessId, name: str, gen: Generator, daemon: bool):
+        self.task_id = task_id
+        self.pid = pid
+        self.name = name
+        self.gen = gen
+        self.started = False
+        self.done = False
+        self.result: Any = None
+        self.daemon = daemon
+        self.pending_token: Optional[int] = None
+        self._token_counter = 0
+        self.outstanding: Dict[MemoryId, int] = {}
+
+    def new_token(self) -> int:
+        self._token_counter += 1
+        self.pending_token = self._token_counter
+        return self._token_counter
+
+    @property
+    def label(self) -> str:
+        return f"{process_name(self.pid)}/{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("parked" if self.pending_token else "ready")
+        return f"<Task {self.label} {state}>"
+
+
+class Kernel:
+    """Deterministic discrete-event simulator of one M&M system."""
+
+    def __init__(self, config: SimConfig, layout: Optional[MemoryLayout] = None):
+        self.config = config
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.rng = random.Random(config.seed)
+        self.tracer = Tracer(enabled=config.trace)
+        self.metrics = MetricsLedger(strict_safety=config.strict_safety)
+        self.network = Network(config.n_processes)
+        self.layout = layout or MemoryLayout([])
+        self.memories: List[Memory] = [
+            Memory(MemoryId(mid), self.layout) for mid in range(config.n_memories)
+        ]
+        self.authority = SignatureAuthority(seed=config.seed)
+        self.crashed_processes: Set[ProcessId] = set()
+        self.byzantine_processes: Set[ProcessId] = set()
+        self.tasks: List[Task] = []
+        self._task_ids = iter(range(1, 1 << 30))
+        self.omega: OmegaFn = config.omega or (lambda now: 0)
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+    def spawn(self, pid: ProcessId, name: str, gen: Generator, daemon: bool = False) -> Task:
+        """Register *gen* as a task of process *pid*; first step runs at ``now``."""
+        task = Task(next(self._task_ids), ProcessId(pid), name, gen, daemon)
+        self.tasks.append(task)
+        self.tracer.record(self.now, "spawn", task.label)
+        self.queue.push(self.now, lambda: self._resume(task, None))
+        return task
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at virtual *time* (used by failure plans)."""
+        self.queue.push(max(time, self.now), fn)
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def crash_process(self, pid: ProcessId) -> None:
+        """Crash *pid* now: its tasks never run again, inbox dropped."""
+        pid = ProcessId(pid)
+        if pid in self.crashed_processes:
+            return
+        self.crashed_processes.add(pid)
+        self.network.drop_process(pid)
+        self.tracer.record(self.now, "crash_proc", process_name(pid))
+
+    def crash_memory(self, mid: MemoryId) -> None:
+        """Crash memory *mid* now: subsequent operations on it hang."""
+        memory = self.memories[mid]
+        if not memory.crashed:
+            memory.crash()
+            self.tracer.record(self.now, "crash_mem", memory_name(mid))
+
+    def mark_byzantine(self, pid: ProcessId) -> None:
+        """Exempt *pid* from agreement accounting (its strategy is installed
+        by the cluster runner)."""
+        pid = ProcessId(pid)
+        self.byzantine_processes.add(pid)
+        self.metrics.byzantine.add(pid)
+
+    def is_faulty(self, pid: ProcessId) -> bool:
+        return pid in self.crashed_processes or pid in self.byzantine_processes
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Process events until the queue drains, *until* passes, or
+        *stop_when* returns True.  Returns the final virtual time."""
+        processed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time > until:
+                break
+            if stop_when is not None and stop_when():
+                break
+            time, fn = self.queue.pop()
+            if time < self.now:
+                raise SimulationError(f"time went backwards: {time} < {self.now}")
+            self.now = time
+            fn()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return self.now
+
+    def run_until_decided(
+        self,
+        pids: Optional[Set[ProcessId]] = None,
+        deadline: float = 10_000.0,
+    ) -> bool:
+        """Run until every pid in *pids* (default: all correct) decided.
+
+        Returns True when the goal was reached before *deadline*.
+        """
+        if pids is None:
+            pids = {
+                ProcessId(p)
+                for p in range(self.config.n_processes)
+                if not self.is_faulty(ProcessId(p))
+            }
+
+        def goal() -> bool:
+            return all(p in self.metrics.decisions for p in pids)
+
+        self.run(until=deadline, stop_when=goal)
+        return goal()
+
+    # ------------------------------------------------------------------
+    # task stepping
+    # ------------------------------------------------------------------
+    def _resume(self, task: Task, value: Any) -> None:
+        if task.done or task.pid in self.crashed_processes:
+            return
+        task.pending_token = None
+        steps = 0
+        while True:
+            try:
+                if task.started:
+                    effect = task.gen.send(value)
+                else:
+                    task.started = True
+                    effect = task.gen.send(None)
+            except StopIteration as stop:
+                task.done = True
+                task.result = stop.value
+                self.tracer.record(self.now, "task_done", task.label, result=stop.value)
+                return
+            steps += 1
+            if steps > self.config.max_inline_steps:
+                raise SimulationError(
+                    f"task {task.label} ran {steps} effects at t={self.now} "
+                    "without parking (runaway loop?)"
+                )
+            value = self._perform(task, effect)
+            if value is _PARKED:
+                return
+
+    def _perform(self, task: Task, effect: Effect) -> Any:
+        """Execute one effect; return the resume value or ``_PARKED``."""
+        if isinstance(effect, SendEffect):
+            self._send(task, effect)
+            return None
+        if isinstance(effect, InvokeEffect):
+            return self._invoke(task, effect)
+        if isinstance(effect, WaitEffect):
+            self._wait(task, effect)
+            return _PARKED
+        if isinstance(effect, RecvEffect):
+            return self._recv(task, effect)
+        if isinstance(effect, SleepEffect):
+            token = task.new_token()
+            self.queue.push(self.now + effect.duration, lambda: self._wake(task, token, None))
+            return _PARKED
+        if isinstance(effect, GateWaitEffect):
+            self._gate_wait(task, effect)
+            return _PARKED
+        if isinstance(effect, SpawnEffect):
+            return self.spawn(task.pid, effect.name, effect.gen, daemon=effect.daemon)
+        raise SimulationError(f"task {task.label} yielded non-effect {effect!r}")
+
+    def _wake(self, task: Task, token: int, value: Any) -> None:
+        """Resume *task* if suspension *token* is still pending."""
+        if task.done or task.pending_token != token:
+            return
+        if task.pid in self.crashed_processes:
+            return
+        task.pending_token = None
+        self.queue.push(self.now, lambda: self._resume(task, value))
+
+    # ------------------------------------------------------------------
+    # effect implementations
+    # ------------------------------------------------------------------
+    def _send(self, task: Task, effect: SendEffect) -> None:
+        if not self.config.links_enabled:
+            raise SimulationError(
+                f"{task.label} sent a message in the link-free disk model"
+            )
+        env = Envelope(
+            src=task.pid,
+            dst=ProcessId(effect.dst),
+            topic=effect.topic,
+            payload=effect.payload,
+            sent_at=self.now,
+        )
+        self.metrics.count_message(task.pid)
+        delay = self.config.latency.message_delay(task.pid, env.dst, self.now, self.rng)
+        self.tracer.record(
+            self.now, "send", task.label, dst=process_name(env.dst), topic=effect.topic
+        )
+        self.queue.push(self.now + delay, lambda: self._deliver(env))
+
+    def _deliver(self, env: Envelope) -> None:
+        if env.dst in self.crashed_processes:
+            return
+        self.tracer.record(
+            self.now, "deliver", process_name(env.dst), src=process_name(env.src), topic=env.topic
+        )
+        waiter = self.network.deliver(env)
+        if waiter is not None:
+            waiter.wake(env)
+
+    def _invoke(self, task: Task, effect: InvokeEffect) -> OpFuture:
+        mid = MemoryId(effect.mid)
+        if mid >= len(self.memories):
+            raise SimulationError(f"no such memory mu{int(mid) + 1}")
+        if self.config.strict_outstanding:
+            if task.outstanding.get(mid, 0) >= 1:
+                raise OutstandingOpError(
+                    f"{task.label} already has an outstanding op on {memory_name(mid)}"
+                )
+        task.outstanding[mid] = task.outstanding.get(mid, 0) + 1
+        future = OpFuture(task.pid, mid, effect.op)
+        self.metrics.count_mem_op(task.pid, type(effect.op).__name__)
+        memory = self.memories[mid]
+        req = self.config.latency.memory_request_delay(task.pid, mid, self.now, self.rng)
+        self.tracer.record(
+            self.now, "invoke", task.label, mem=memory_name(mid), op=type(effect.op).__name__
+        )
+
+        def arrive() -> None:
+            if memory.crashed:
+                self.tracer.record(self.now, "mem_drop", memory_name(mid))
+                return  # the future never resolves: the op hangs
+            result = memory.apply(task.pid, effect.op)
+            resp = self.config.latency.memory_response_delay(task.pid, mid, self.now, self.rng)
+            self.queue.push(self.now + resp, lambda: self._resolve(task, future, result))
+
+        self.queue.push(self.now + req, arrive)
+        return future
+
+    def _resolve(self, task: Task, future: OpFuture, result) -> None:
+        task.outstanding[future.mid] = max(0, task.outstanding.get(future.mid, 1) - 1)
+        self.tracer.record(
+            self.now,
+            "op_result",
+            task.label,
+            mem=memory_name(future.mid),
+            status=result.status.value,
+        )
+        for notify in future.resolve(result):
+            notify()
+
+    def _wait(self, task: Task, effect: WaitEffect) -> None:
+        token = task.new_token()
+        futures = tuple(effect.futures)
+        needed = effect.count
+
+        def check() -> None:
+            if sum(1 for f in futures if f.done) >= needed:
+                self._wake(task, token, True)
+
+        if needed <= 0 or sum(1 for f in futures if f.done) >= needed:
+            self.queue.push(self.now, lambda: self._wake(task, token, True))
+            return
+        for f in futures:
+            f.add_waiter(check)
+        if effect.timeout is not None:
+            self.queue.push(
+                self.now + effect.timeout, lambda: self._wake(task, token, False)
+            )
+
+    def _recv(self, task: Task, effect: RecvEffect) -> Any:
+        env = self.network.try_consume(task.pid, effect.topic, effect.match)
+        if env is not None:
+            return env
+        token = task.new_token()
+        waiter = RecvWaiter(
+            pid=task.pid,
+            token=token,
+            topic=effect.topic,
+            match=effect.match,
+            wake=lambda e: self._wake(task, token, e),
+        )
+        self.network.park(waiter)
+        if effect.timeout is not None:
+
+            def timeout_fired() -> None:
+                self.network.unpark(task.pid, token)
+                self._wake(task, token, None)
+
+            self.queue.push(self.now + effect.timeout, timeout_fired)
+        return _PARKED
+
+    def _gate_wait(self, task: Task, effect: GateWaitEffect) -> None:
+        token = task.new_token()
+        effect.gate.add_waiter(lambda: self._wake(task, token, True))
+        if effect.timeout is not None:
+            self.queue.push(self.now + effect.timeout, lambda: self._wake(task, token, False))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def correct_processes(self) -> List[ProcessId]:
+        return [
+            ProcessId(p)
+            for p in range(self.config.n_processes)
+            if not self.is_faulty(ProcessId(p))
+        ]
+
+    def memory(self, mid: int) -> Memory:
+        return self.memories[mid]
+
+
+class _ParkedType:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<parked>"
+
+
+_PARKED = _ParkedType()

@@ -1,0 +1,125 @@
+"""Latency models: who controls time.
+
+The paper splits its analysis in two: safety must hold under full asynchrony
+(arbitrary delays), while the delay-count results are stated for common-case
+executions where the system is synchronous.  We mirror that split with
+pluggable latency models:
+
+* :class:`NominalLatency` — the common case.  A message takes exactly one
+  unit, each memory-operation leg exactly one unit (so an operation takes
+  two).  Measured decision times equal the paper's delay counts.
+* :class:`JitteredSynchrony` — synchronous but noisy; used to check that
+  protocols do not accidentally depend on exact timing.
+* :class:`PartialSynchrony` — arbitrary (seeded-random, possibly huge)
+  delays before GST, bounded after; the standard liveness assumption.
+* :class:`AdversarialLatency` — a programmable adversary; tests use it to
+  build specific bad schedules (e.g. the Theorem 6.1 construction delays one
+  process's writes past another's entire execution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.types import MemoryId, ProcessId
+
+
+class LatencyModel:
+    """Base latency model: nominal unit delays."""
+
+    def message_delay(
+        self, src: ProcessId, dst: ProcessId, now: float, rng: random.Random
+    ) -> float:
+        return 1.0
+
+    def memory_request_delay(
+        self, pid: ProcessId, mid: MemoryId, now: float, rng: random.Random
+    ) -> float:
+        return 1.0
+
+    def memory_response_delay(
+        self, pid: ProcessId, mid: MemoryId, now: float, rng: random.Random
+    ) -> float:
+        return 1.0
+
+
+class NominalLatency(LatencyModel):
+    """The common-case schedule: 1 delay per message, 2 per memory op."""
+
+
+class JitteredSynchrony(LatencyModel):
+    """Synchronous with bounded multiplicative jitter."""
+
+    def __init__(self, jitter: float = 0.2) -> None:
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self.jitter = jitter
+
+    def _draw(self, rng: random.Random) -> float:
+        return 1.0 + rng.uniform(0, self.jitter)
+
+    def message_delay(self, src, dst, now, rng) -> float:
+        return self._draw(rng)
+
+    def memory_request_delay(self, pid, mid, now, rng) -> float:
+        return self._draw(rng)
+
+    def memory_response_delay(self, pid, mid, now, rng) -> float:
+        return self._draw(rng)
+
+
+class PartialSynchrony(LatencyModel):
+    """Arbitrary delays before GST, bounded delays afterwards."""
+
+    def __init__(self, gst: float = 50.0, bound: float = 1.5, chaos: float = 20.0):
+        self.gst = gst
+        self.bound = bound
+        self.chaos = chaos
+
+    def _draw(self, now: float, rng: random.Random) -> float:
+        if now < self.gst:
+            return rng.uniform(1.0, self.chaos)
+        return rng.uniform(1.0, self.bound)
+
+    def message_delay(self, src, dst, now, rng) -> float:
+        return self._draw(now, rng)
+
+    def memory_request_delay(self, pid, mid, now, rng) -> float:
+        return self._draw(now, rng)
+
+    def memory_response_delay(self, pid, mid, now, rng) -> float:
+        return self._draw(now, rng)
+
+
+DelayFn = Callable[[str, ProcessId, int, float], Optional[float]]
+
+
+class AdversarialLatency(LatencyModel):
+    """A programmable adversary with per-edge override hooks.
+
+    ``override(kind, actor, peer, now)`` may return a delay to impose, or
+    None to fall back to the base model.  ``kind`` is one of ``"msg"``,
+    ``"mem_req"``, ``"mem_resp"``; for messages ``actor``/``peer`` are
+    (src, dst), for memory legs they are (pid, mid).
+    """
+
+    def __init__(self, override: DelayFn, base: Optional[LatencyModel] = None):
+        self.override = override
+        self.base = base or NominalLatency()
+
+    def message_delay(self, src, dst, now, rng) -> float:
+        forced = self.override("msg", src, dst, now)
+        return forced if forced is not None else self.base.message_delay(src, dst, now, rng)
+
+    def memory_request_delay(self, pid, mid, now, rng) -> float:
+        forced = self.override("mem_req", pid, mid, now)
+        if forced is not None:
+            return forced
+        return self.base.memory_request_delay(pid, mid, now, rng)
+
+    def memory_response_delay(self, pid, mid, now, rng) -> float:
+        forced = self.override("mem_resp", pid, mid, now)
+        if forced is not None:
+            return forced
+        return self.base.memory_response_delay(pid, mid, now, rng)

@@ -1,0 +1,58 @@
+"""Structured execution traces.
+
+Tracing is off by default (simulations run millions of events); when
+enabled, every interesting kernel action appends a :class:`TraceEvent`.
+Tests assert on traces (e.g. "the leader issued no reads before deciding"),
+and failed benchmark shapes can be debugged by dumping them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel action at one virtual instant."""
+
+    time: float
+    kind: str
+    actor: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}] {self.kind:<14} {self.actor:<8} {extras}"
+
+
+class Tracer:
+    """Bounded in-memory trace log."""
+
+    def __init__(self, enabled: bool = False, max_events: int = 200_000) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+
+    def record(self, time: float, kind: str, actor: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(time, kind, actor, detail))
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind == kind)
+
+    def by_actor(self, actor: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.actor == actor)
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        return next(self.of_kind(kind), None)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable trace (optionally only the first *limit* events)."""
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)

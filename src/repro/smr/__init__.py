@@ -1,0 +1,28 @@
+"""State machine replication over the paper's consensus instances.
+
+The paper notes (Section 5.1) that with many consensus instances "the
+leader terminates one instance and becomes the default leader in the
+next" — this package builds that multi-instance layer: a replicated log
+where each slot is decided by a fresh instance of any
+:class:`~repro.consensus.base.ConsensusProtocol`, plus a small replicated
+key-value store driven by it.  Used by the examples and the throughput
+benchmark (E10).
+"""
+
+from repro.smr.byzantine_log import (
+    ByzantineLogConfig,
+    ByzantineReplicatedLog,
+    NOOP,
+)
+from repro.smr.kv import KVCommand, KVStateMachine
+from repro.smr.log import ReplicatedLog, SmrConfig
+
+__all__ = [
+    "ByzantineLogConfig",
+    "ByzantineReplicatedLog",
+    "KVCommand",
+    "KVStateMachine",
+    "NOOP",
+    "ReplicatedLog",
+    "SmrConfig",
+]

@@ -1,0 +1,59 @@
+"""A replicated key-value store over the replicated log.
+
+The state machine applies ``KVCommand`` entries in slot order; reads go
+through the log too (they are commands), so every replica answers queries
+from the same committed prefix — the standard linearizable-SMR recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class KVCommand:
+    """One state-machine command: put/get/delete."""
+
+    op: str  # "put" | "get" | "delete"
+    key: str
+    value: Any = None
+    client: Optional[int] = None
+    request_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("put", "get", "delete"):
+            raise ValueError(f"unknown KV op {self.op!r}")
+
+
+class KVStateMachine:
+    """Deterministic KV state machine; replicas converge by construction."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, Any] = {}
+        self.applied: List[Tuple[int, KVCommand, Any]] = []
+
+    def apply(self, slot: int, command: Any) -> Any:
+        """Apply one committed command; returns the command's result."""
+        if not isinstance(command, KVCommand):
+            # Unknown commands (e.g. no-ops from leader change) are skipped
+            # deterministically.
+            self.applied.append((slot, command, None))
+            return None
+        if command.op == "put":
+            self.data[command.key] = command.value
+            result = None
+        elif command.op == "get":
+            result = self.data.get(command.key)
+        else:  # delete
+            result = self.data.pop(command.key, None)
+        self.applied.append((slot, command, result))
+        return result
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of the current store contents."""
+        return dict(self.data)
+
+    @property
+    def applied_count(self) -> int:
+        return len(self.applied)

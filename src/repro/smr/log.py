@@ -1,0 +1,219 @@
+"""A replicated log: one consensus instance per slot.
+
+Each slot gets its own protocol instance with registers/messages namespaced
+by slot index, so instances never interfere.  The leader (slot proposer)
+carries its decision into the next slot — the paper's "default leader in
+the next instance" — which keeps every slot on the protocol's fast path:
+with Protected Memory Paxos each committed command costs two delays.
+
+This is deliberately a *library* layer above the consensus protocols: it
+feeds inputs in, observes decisions, and applies them to a state machine
+callback in slot order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.chains import ChainRunner
+from repro.consensus.messages import Decision
+from repro.consensus.protected_memory_paxos import PmpSlot
+from repro.mem.permissions import Permission, exclusive_grab_policy
+from repro.mem.regions import RegionSpec
+from repro.sim.environment import ProcessEnv
+from repro.types import BOTTOM, is_bottom
+
+SMR_REGION = "smr"
+SMR_TOPIC = "smr"
+
+
+@dataclass
+class SmrConfig:
+    """Configuration for the replicated log."""
+
+    initial_leader: int = 0
+    leader_poll: float = 2.0
+    retry_backoff: float = 4.0
+
+
+def smr_regions(n_processes: int, initial_leader: int = 0) -> List[RegionSpec]:
+    """One dynamic-permission region covering all slots of all instances."""
+    processes = range(n_processes)
+    return [
+        RegionSpec(
+            region_id=SMR_REGION,
+            prefix=(SMR_REGION,),
+            initial_permission=Permission.exclusive_writer(initial_leader, processes),
+            legal_change=exclusive_grab_policy(processes),
+        )
+    ]
+
+
+@dataclass
+class _SlotState:
+    decided: bool = False
+    value: Any = None
+
+
+class ReplicatedLog:
+    """A Protected-Memory-Paxos-backed replicated log endpoint.
+
+    The log embeds a per-slot PMP-style proposer rather than instantiating
+    the standalone protocol object, because leadership (and hence the
+    permission skip) carries across slots: after deciding slot ``i`` the
+    leader still holds exclusive write permission, so slot ``i+1`` is again
+    a single two-delay write.
+    """
+
+    def __init__(
+        self,
+        env: ProcessEnv,
+        apply_fn: Callable[[int, Any], None],
+        config: Optional[SmrConfig] = None,
+    ) -> None:
+        self.env = env
+        self.apply_fn = apply_fn
+        self.config = config or SmrConfig()
+        self.slots: Dict[int, _SlotState] = {}
+        self.applied_upto = -1
+        self.highest_seen = Ballot.zero()
+        #: True once this process has grabbed permissions (or started as
+        #: the initial leader), letting later slots skip the prepare phase
+        self.permissions_held = int(env.pid) == self.config.initial_leader
+        #: slot -> accepted value discovered at leadership takeover; while
+        #: permissions are held nobody else can write, so the cache stays
+        #: complete and proposing a cached slot must re-propose its value
+        #: (otherwise a takeover could overwrite an earlier leader's commit)
+        self.adopt_cache: Dict[int, Any] = {}
+        self.commit_gate = env.new_gate(f"smr-commit-p{int(env.pid)+1}")
+
+    # ------------------------------------------------------------------
+    def _slot_key(self, slot: int, pid: int) -> tuple:
+        return (SMR_REGION, slot, pid)
+
+    def _state(self, slot: int) -> _SlotState:
+        return self.slots.setdefault(slot, _SlotState())
+
+    def _commit(self, slot: int, value: Any) -> None:
+        state = self._state(slot)
+        if state.decided:
+            return
+        state.decided = True
+        state.value = value
+        while self._state(self.applied_upto + 1).decided:
+            self.applied_upto += 1
+            self.apply_fn(self.applied_upto, self.slots[self.applied_upto].value)
+        self.env.signal(self.commit_gate)
+        self.commit_gate.clear()
+
+    # ------------------------------------------------------------------
+    def listener(self) -> Generator:
+        """Learn commits broadcast by the leader."""
+        env = self.env
+        while True:
+            envelope = yield from env.recv(topic=SMR_TOPIC)
+            if envelope is None:
+                continue
+            payload = envelope.payload
+            if isinstance(payload, tuple) and len(payload) == 2:
+                slot, decision = payload
+                if isinstance(decision, Decision):
+                    self._commit(slot, decision.value)
+
+    # ------------------------------------------------------------------
+    def propose(self, slot: int, command: Any) -> Generator:
+        """Drive consensus for *slot*; returns the decided command.
+
+        Retries (with permission re-acquisition) until the slot commits;
+        returns the committed value, which may be another leader's command
+        if this process lost leadership.
+        """
+        env = self.env
+        state = self._state(slot)
+        while not state.decided:
+            if env.leader() != env.pid:
+                yield env.gate_wait(self.commit_gate, timeout=self.config.leader_poll)
+                continue
+            yield from self._attempt(slot, command)
+            if not state.decided:
+                yield env.sleep(self.config.retry_backoff * (1 + env.rng.random()))
+        return state.value
+
+    def _attempt(self, slot: int, command: Any) -> Generator:
+        env = self.env
+        majority = env.majority_of_memories()
+        prop_nr = self.highest_seen.next_for(env.pid)
+        self.highest_seen = prop_nr
+
+        if self.permissions_held:
+            my_value = self.adopt_cache.get(slot, command)
+        else:
+            my_value = yield from self._prepare(slot, prop_nr, majority, command)
+            if my_value is None:
+                return
+
+        chains = ChainRunner(env, f"smr2-{slot}")
+        slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
+
+        def phase2(mid):
+            result = yield from env.write(
+                mid, SMR_REGION, self._slot_key(slot, int(env.pid)), slot_value
+            )
+            return result.ok
+
+        yield from chains.launch(phase2)
+        yield from chains.wait_for(majority)
+        if any(not ok for ok in chains.results.values()):
+            self.permissions_held = False  # somebody grabbed the region
+            return
+        self._commit(slot, my_value)
+        yield from env.broadcast(
+            (slot, Decision(value=my_value)), topic=SMR_TOPIC, include_self=False
+        )
+
+    def _prepare(self, slot: int, prop_nr: Ballot, majority: int, command: Any) -> Generator:
+        env = self.env
+        chains = ChainRunner(env, f"smr1-{slot}")
+        grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
+        probe = PmpSlot(min_prop=prop_nr, acc_prop=None, value=BOTTOM)
+
+        def phase1(mid):
+            yield from env.change_permission(mid, SMR_REGION, grab)
+            write = yield from env.write(
+                mid, SMR_REGION, self._slot_key(slot, int(env.pid)), probe
+            )
+            if not write.ok:
+                return (False, None)
+            # Takeover reads the *whole* region: every slot any previous
+            # leader may have written, not just the one being proposed.
+            snap = yield from env.snapshot(mid, SMR_REGION, (SMR_REGION,))
+            return (True, snap.value if snap.ok else None)
+
+        yield from chains.launch(phase1)
+        yield from chains.wait_for(majority)
+        results = list(chains.results.values())
+        if any(not ok for ok, _ in results):
+            return None
+        best_per_slot: Dict[int, tuple] = {}
+        for ok, view in results:
+            if view is None:
+                return None
+            for key, other in view.items():
+                if key == self._slot_key(slot, int(env.pid)) or not isinstance(
+                    other, PmpSlot
+                ):
+                    continue
+                self.highest_seen = max(self.highest_seen, other.min_prop)
+                if other.min_prop > prop_nr:
+                    return None
+                if other.acc_prop is not None and not is_bottom(other.value):
+                    seen_slot = key[1]
+                    current = best_per_slot.get(seen_slot)
+                    if current is None or other.acc_prop > current[0]:
+                        best_per_slot[seen_slot] = (other.acc_prop, other.value)
+        self.adopt_cache = {s: v for s, (_b, v) in best_per_slot.items()}
+        self.permissions_held = True
+        best = best_per_slot.get(slot)
+        return command if best is None else best[1]

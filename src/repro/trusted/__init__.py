@@ -1,0 +1,28 @@
+"""Trusted message passing: T-send / T-receive (paper Section 4.1, Alg. 3).
+
+Clement et al. [20] show that unforgeable signatures plus non-equivocation
+let ``n >= 2f+1`` processes translate any crash-tolerant message-passing
+algorithm into a Byzantine-tolerant one: every message carries its sender's
+full signed history, receivers validate the history against the protocol's
+rules, and misbehaving senders are simply ignored — reducing Byzantine
+behaviour to crash behaviour.
+"""
+
+from repro.trusted.history import History, RecvEvent, SentEvent
+from repro.trusted.transport import TMessage, TrustedTransport
+from repro.trusted.validators import (
+    ConformanceValidator,
+    PaxosConformance,
+    PermissiveConformance,
+)
+
+__all__ = [
+    "ConformanceValidator",
+    "History",
+    "PaxosConformance",
+    "PermissiveConformance",
+    "RecvEvent",
+    "SentEvent",
+    "TMessage",
+    "TrustedTransport",
+]

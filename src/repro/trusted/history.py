@@ -1,0 +1,78 @@
+"""Execution histories attached to trusted messages.
+
+A history is a tuple of events, one per message the process T-sent or
+T-received.  Histories are tamper-evident without embedding signatures:
+
+* the history travels inside a non-equivocating broadcast whose unit
+  signature covers the digest of the whole payload — a sender cannot show
+  different histories to different receivers;
+* every ``RecvEvent(q, k, m)`` a history cites is checked by each validator
+  against the validator's *own* delivery record for ``(q, k)``: since
+  non-equivocating broadcast guarantees all correct processes deliver
+  identical per-sender streams, a citation of a message q never broadcast
+  can never validate anywhere, even if q colludes by privately signing it.
+  Citations of messages the validator has not yet delivered are deferred,
+  not rejected — asynchrony must not convict honest senders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.types import ProcessId
+
+#: destination marker for broadcast T-sends
+TO_ALL = "*"
+
+
+@dataclass(frozen=True)
+class SentEvent:
+    """The process T-sent its *k*-th message *message* to *dst*."""
+
+    k: int
+    dst: Any  # ProcessId or TO_ALL
+    message: Any
+
+
+@dataclass(frozen=True)
+class RecvEvent:
+    """The process T-received *message* as *sender*'s *k*-th T-send."""
+
+    sender: ProcessId
+    k: int
+    dst: Any
+    message: Any
+
+
+History = Tuple[Any, ...]
+
+
+def sent_count(history: History) -> int:
+    """Number of SentEvents in *history* (the next T-send gets k+1)."""
+    return sum(1 for event in history if isinstance(event, SentEvent))
+
+
+def received_from(history: History, sender: ProcessId) -> Tuple[RecvEvent, ...]:
+    """All RecvEvents in *history* attributed to *sender*, in order."""
+    return tuple(
+        event
+        for event in history
+        if isinstance(event, RecvEvent) and event.sender == sender
+    )
+
+
+def received_events(history: History) -> Tuple[RecvEvent, ...]:
+    return tuple(event for event in history if isinstance(event, RecvEvent))
+
+
+def sent_events(history: History) -> Tuple[SentEvent, ...]:
+    return tuple(event for event in history if isinstance(event, SentEvent))
+
+
+def last_sent_matching(history: History, predicate) -> Optional[SentEvent]:
+    """The most recent SentEvent whose message satisfies *predicate*."""
+    for event in reversed(history):
+        if isinstance(event, SentEvent) and predicate(event.message):
+            return event
+    return None

@@ -1,0 +1,183 @@
+"""Protocol-conformance validators for trusted messages.
+
+The Clement et al. construction requires receivers to check "whether a
+received message is consistent with the protocol" given the sender's
+attached history.  :class:`PaxosConformance` implements that check for
+single-decree Paxos: a Byzantine process can then only send messages a
+correct-but-crashy process could have sent, which is precisely the failure
+translation the Robust Backup algorithm needs.
+
+Citations in histories (RecvEvents) have already been cross-checked against
+the validator's own delivery record by the transport, so the validator may
+treat them as genuine receptions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.messages import (
+    Accept,
+    Accepted,
+    Decision,
+    Nack,
+    Prepare,
+    Promise,
+    SetupValue,
+)
+from repro.trusted.history import History, RecvEvent, SentEvent
+from repro.types import ProcessId
+
+
+class ConformanceValidator:
+    """Interface: decide whether *message* is protocol-conformant."""
+
+    def validate(
+        self,
+        env,
+        sender: ProcessId,
+        k: int,
+        message: Any,
+        history: History,
+    ) -> bool:
+        raise NotImplementedError
+
+
+class PermissiveConformance(ConformanceValidator):
+    """Accept everything (crash-only settings and unit tests)."""
+
+    def validate(self, env, sender, k, message, history) -> bool:
+        return True
+
+
+class PaxosConformance(ConformanceValidator):
+    """Single-decree Paxos conformance rules.
+
+    ``quorum`` is the promise/accepted quorum size the proposers use
+    (a majority of n unless configured otherwise).
+    """
+
+    def __init__(self, quorum: int) -> None:
+        self.quorum = quorum
+
+    # ------------------------------------------------------------------
+    def validate(self, env, sender, k, message, history) -> bool:
+        if isinstance(message, Prepare):
+            return self._check_prepare(sender, message, history)
+        if isinstance(message, Promise):
+            return self._check_promise(sender, message, history)
+        if isinstance(message, Accept):
+            return self._check_accept(sender, message, history)
+        if isinstance(message, Accepted):
+            return self._check_accepted(message, history)
+        if isinstance(message, Nack):
+            return self._check_nack(sender, message, history)
+        if isinstance(message, Decision):
+            return self._check_decision(message, history)
+        if isinstance(message, SetupValue):
+            return True  # inputs are unconstrained (weak validity)
+        return False
+
+    # ------------------------------------------------------------------
+    # per-message rules
+    # ------------------------------------------------------------------
+    def _check_prepare(self, sender: ProcessId, msg: Prepare, history: History) -> bool:
+        if msg.ballot.pid != int(sender):
+            return False
+        # Ballot monotonicity: strictly above every ballot previously used.
+        for event in history:
+            if isinstance(event, SentEvent) and isinstance(event.message, Prepare):
+                if event.message.ballot >= msg.ballot:
+                    return False
+        return True
+
+    def _check_promise(self, sender: ProcessId, msg: Promise, history: History) -> bool:
+        # Must have received the Prepare being answered.
+        if not any(
+            isinstance(e, RecvEvent)
+            and isinstance(e.message, Prepare)
+            and e.message.ballot == msg.ballot
+            for e in history
+        ):
+            return False
+        # Must not have promised or accepted a higher ballot already.
+        for event in history:
+            if not isinstance(event, SentEvent):
+                continue
+            sent = event.message
+            if isinstance(sent, Promise) and sent.ballot > msg.ballot:
+                return False
+            if isinstance(sent, Accepted) and sent.ballot > msg.ballot:
+                return False
+        # The reported accepted pair must match the sender's last Accepted.
+        last: Optional[Accepted] = None
+        for event in history:
+            if isinstance(event, SentEvent) and isinstance(event.message, Accepted):
+                last = event.message
+        if last is None:
+            return msg.accepted_ballot is None
+        return (
+            msg.accepted_ballot == last.ballot and msg.accepted_value == last.value
+        )
+
+    def _check_accept(self, sender: ProcessId, msg: Accept, history: History) -> bool:
+        if msg.ballot.pid != int(sender):
+            return False
+        promises = self._promises_for(msg.ballot, history)
+        if len(promises) < self.quorum:
+            return False
+        best: Optional[Tuple[Ballot, Any]] = None
+        for promise in promises.values():
+            if promise.accepted_ballot is None:
+                continue
+            if best is None or promise.accepted_ballot > best[0]:
+                best = (promise.accepted_ballot, promise.accepted_value)
+        if best is None:
+            return True  # free choice: the proposer's own input
+        return msg.value == best[1]
+
+    @staticmethod
+    def _promises_for(ballot: Ballot, history: History) -> dict:
+        promises = {}
+        for event in history:
+            if (
+                isinstance(event, RecvEvent)
+                and isinstance(event.message, Promise)
+                and event.message.ballot == ballot
+            ):
+                promises[event.sender] = event.message
+        return promises
+
+    @staticmethod
+    def _check_accepted(msg: Accepted, history: History) -> bool:
+        return any(
+            isinstance(e, RecvEvent)
+            and isinstance(e.message, Accept)
+            and e.message.ballot == msg.ballot
+            and e.message.value == msg.value
+            for e in history
+        )
+
+    @staticmethod
+    def _check_nack(sender: ProcessId, msg: Nack, history: History) -> bool:
+        # The claimed higher promise must be one the sender could justify:
+        # either it sent a Promise for it or received a Prepare/Accept at it.
+        for event in history:
+            if isinstance(event, SentEvent) and isinstance(event.message, Promise):
+                if event.message.ballot == msg.promised:
+                    return True
+            if isinstance(event, RecvEvent):
+                inner = event.message
+                if isinstance(inner, (Prepare, Accept)) and inner.ballot == msg.promised:
+                    return True
+        return False
+
+    def _check_decision(self, msg: Decision, history: History) -> bool:
+        votes: dict = {}
+        for event in history:
+            if isinstance(event, RecvEvent) and isinstance(event.message, Accepted):
+                accepted = event.message
+                if accepted.value == msg.value:
+                    votes.setdefault(accepted.ballot, set()).add(event.sender)
+        return any(len(voters) >= self.quorum for voters in votes.values())

@@ -1,0 +1,95 @@
+"""Core value types shared across the library.
+
+The paper's model (Section 3) has two kinds of agents: *processes*
+``p_1..p_n`` and *memories* ``mu_1..mu_m``.  We identify both with small
+integers in separate namespaces.  Registers are addressed by structured keys
+(tuples of hashable components) so that protocols can carve the register
+space into named slots such as ``("neb", "slot", p, k, q)`` without any
+global coordination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, NewType, Tuple
+
+ProcessId = NewType("ProcessId", int)
+MemoryId = NewType("MemoryId", int)
+
+#: Structured register address, e.g. ``("pmp", "slot", 2)``.
+RegisterKey = Tuple[Any, ...]
+
+#: Region identifiers are short strings, e.g. ``"cq:leader"``.
+RegionId = str
+
+
+class _BottomType:
+    """The register initial value (the paper's ``⊥``).
+
+    A dedicated singleton rather than ``None`` so protocol payloads may
+    legitimately carry ``None`` without colliding with "never written".
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_BottomType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_BottomType, ())
+
+
+#: Singleton register bottom value.
+BOTTOM = _BottomType()
+
+
+def is_bottom(value: Any) -> bool:
+    """Return True if *value* is the register initial value ``⊥``."""
+    return isinstance(value, _BottomType)
+
+
+class OpStatus(enum.Enum):
+    """Status of a memory operation, per Section 3 ("Accessing memories")."""
+
+    ACK = "ack"
+    NAK = "nak"
+
+    def __bool__(self) -> bool:  # lets callers write ``if status:``
+        return self is OpStatus.ACK
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Result of a memory operation.
+
+    ``status`` is ACK or NAK.  For reads, ``value`` carries the register
+    contents (``BOTTOM`` when never written); for snapshot reads it carries a
+    dict mapping register key to value; writes and permission changes carry
+    ``None``.
+    """
+
+    status: OpStatus
+    value: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is OpStatus.ACK
+
+
+def process_name(pid: ProcessId) -> str:
+    """Human-readable process name used in traces (``p1`` is process 0)."""
+    return f"p{int(pid) + 1}"
+
+
+def memory_name(mid: MemoryId) -> str:
+    """Human-readable memory name used in traces (``mu1`` is memory 0)."""
+    return f"mu{int(mid) + 1}"

@@ -1,0 +1,100 @@
+"""The Cheap Quorum revocation race (Lemma 4.6's intersection argument).
+
+The dangerous window: a leader's replicated write races the followers'
+permission revocations.  The implementation must guarantee that *if* the
+leader decided (clean ACK majority), every aborter's majority read
+intersects that ACK majority and salvages the leader's value — and if the
+revocation won (any NAK), the leader panics instead of deciding.
+
+We sweep the leader's write-request delay across the panic window with an
+adversarial latency model and check the implication in every interleaving.
+"""
+
+import pytest
+
+from repro.consensus.base import ConsensusProtocol
+from repro.consensus.cheap_quorum import CheapQuorum, CheapQuorumConfig, cq_regions
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.sim.latency import AdversarialLatency
+
+
+class _CqProbe(ConsensusProtocol):
+    name = "cq-probe"
+
+    def __init__(self, config):
+        self.config = config
+        self.outcomes = {}
+
+    def regions(self, n, m):
+        return cq_regions(n, self.config.leader)
+
+    def tasks(self, env, value):
+        def main():
+            cq = CheapQuorum(env, self.config)
+            outcome = yield from cq.run(value)
+            self.outcomes[int(env.pid)] = outcome
+            return outcome
+
+        return [("cq", main())]
+
+
+def _race(write_delay: float, leader_timeout: float = 6.0):
+    """Delay only the leader's memory *requests* by *write_delay*; follower
+    panic fires at ~leader_timeout, so sweeping the delay moves the write
+    across the revocation boundary."""
+
+    def override(kind, actor, peer, now):
+        if kind == "mem_req" and int(actor) == 0:
+            return write_delay
+        return None
+
+    config = CheapQuorumConfig(
+        leader_timeout=leader_timeout, unanimity_timeout=15.0, poll=0.5
+    )
+    probe = _CqProbe(config)
+    cluster = Cluster(
+        probe,
+        ClusterConfig(
+            3, 3, latency=AdversarialLatency(override), deadline=3000,
+            strict_safety=True,
+        ),
+    )
+    cluster.start(["LEADER-VALUE", "b", "c"])
+    cluster.kernel.run(until=3000)
+    return probe
+
+
+class TestRevocationRace:
+    @pytest.mark.parametrize(
+        "write_delay", [0.5, 2.0, 4.0, 5.5, 6.0, 6.5, 7.0, 8.0, 12.0, 30.0]
+    )
+    def test_decide_implies_aborters_carry_value(self, write_delay):
+        probe = _race(write_delay)
+        outcomes = probe.outcomes
+        assert len(outcomes) == 3, "every process must decide or abort"
+        leader = outcomes[0]
+        if leader.decided:
+            # Lemma 4.6: every aborter salvages the leader's value.
+            for p in (1, 2):
+                if not outcomes[p].decided:
+                    assert outcomes[p].value == "LEADER-VALUE", (
+                        f"write_delay={write_delay}: aborter lost the "
+                        "decided value"
+                    )
+        # Deciders among followers must match the leader value too
+        decided_values = {o.value for o in outcomes.values() if o.decided}
+        assert len(decided_values) <= 1
+
+    @pytest.mark.parametrize("write_delay", [15.0, 40.0])
+    def test_late_write_is_revoked_and_leader_panics(self, write_delay):
+        probe = _race(write_delay)
+        leader = probe.outcomes[0]
+        assert not leader.decided
+        assert leader.panicked
+
+    def test_no_interleaving_without_outcome(self):
+        # Safety net: across a fine sweep, nobody is ever left undecided
+        # AND unaborted (Lemma B.2's decide-or-abort).
+        for delay in (5.0, 5.5, 6.0, 6.2, 6.5, 7.0):
+            probe = _race(delay)
+            assert len(probe.outcomes) == 3, f"stuck at write_delay={delay}"

@@ -1,0 +1,122 @@
+"""ProcessEnv surface: helpers, decision recording, crypto plumbing."""
+
+import pytest
+
+from repro.errors import AgreementViolation
+from repro.types import MemoryId, ProcessId
+
+from tests.conftest import env_of, make_kernel, run_single
+
+
+class TestTopology:
+    def test_processes_and_memories_listing(self):
+        kernel = make_kernel(4, 5)
+        env = env_of(kernel, 1)
+        assert env.n_processes == 4 and env.n_memories == 5
+        assert env.processes == [ProcessId(p) for p in range(4)]
+        assert env.memories == [MemoryId(m) for m in range(5)]
+
+    def test_majority_of_memories(self):
+        assert env_of(make_kernel(3, 3), 0).majority_of_memories() == 2
+        assert env_of(make_kernel(3, 5), 0).majority_of_memories() == 3
+        assert env_of(make_kernel(3, 4), 0).majority_of_memories() == 3
+
+    def test_leader_oracle(self):
+        kernel = make_kernel(omega=lambda now: 2 if now >= 5 else 0)
+        env = env_of(kernel, 0)
+        assert env.leader() == ProcessId(0)
+        kernel.now = 6.0
+        assert env.leader() == ProcessId(2)
+
+
+class TestDecisionRecording:
+    def test_decide_records_once(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            env.mark_proposed()
+            yield env.sleep(3.0)
+            env.decide("v")
+            assert env.has_decided()
+            assert env.decision() == "v"
+
+        run_single(kernel, 0, gen())
+        assert kernel.metrics.delays_of(ProcessId(0)) == 3.0
+
+    def test_double_decide_same_value_ok(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            env.decide("v")
+            env.decide("v")
+            yield env.sleep(1.0)
+
+        run_single(kernel, 0, gen())
+        assert kernel.metrics.decided_values() == {"v"}
+
+    def test_conflicting_decide_raises(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def first():
+            env0.decide("a")
+            yield env0.sleep(1.0)
+
+        def second():
+            yield env1.sleep(2.0)
+            env1.decide("b")
+
+        kernel.spawn(0, "a", first())
+        kernel.spawn(1, "b", second())
+        with pytest.raises(AgreementViolation):
+            kernel.run(until=100)
+
+
+class TestBroadcastHelper:
+    def test_include_self(self, kernel):
+        env = env_of(kernel, 0)
+        received = []
+
+        def sender():
+            yield from env.broadcast("hi", topic="t", include_self=True)
+
+        def self_receiver():
+            msg = yield from env.recv(topic="t")
+            received.append(msg.src)
+
+        kernel.spawn(0, "send", sender())
+        kernel.spawn(0, "recv", self_receiver())
+        kernel.run(until=50)
+        assert ProcessId(0) in received
+
+    def test_exclude_self(self, kernel):
+        env = env_of(kernel, 0)
+
+        def sender():
+            yield from env.broadcast("hi", topic="t", include_self=False)
+
+        def self_receiver():
+            msg = yield from env.recv(topic="t", timeout=10.0)
+            return msg
+
+        kernel.spawn(0, "send", sender())
+        task = run_single(kernel, 0, self_receiver())
+        assert task.result is None
+
+
+class TestCryptoPlumbing:
+    def test_sign_counts_into_metrics(self, kernel):
+        env = env_of(kernel, 0)
+        env.sign("x")
+        env.sign("y")
+        assert kernel.metrics.signatures[ProcessId(0)] == 2
+
+    def test_valid_any(self, kernel):
+        env = env_of(kernel, 1)
+        signed = env.sign("payload")
+        assert env.valid_any(signed)
+        assert not env.valid_any("junk")
+
+    def test_keys_are_per_process(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+        assert env0.key is not env1.key
+        assert env0.key.pid != env1.key.pid

@@ -1,0 +1,74 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.sim.event_queue import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while queue:
+            _, fn = queue.pop()
+            fn()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_are_fifo(self):
+        queue = EventQueue()
+        order = []
+        for i in range(50):
+            queue.push(1.0, lambda i=i: order.append(i))
+        while queue:
+            queue.pop()[1]()
+        assert order == list(range(50))
+
+    def test_interleaved_push_pop(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        time, _ = queue.pop()
+        assert time == 1.0
+        queue.push(0.5, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop()[0] == 0.5
+        assert queue.pop()[0] == 2.0
+
+
+class TestPeek:
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_peek_time_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        queue.push(1.0, lambda: None)
+        assert queue
+        assert len(queue) == 1
+
+
+class TestValidation:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    def test_counters(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.pop()
+        assert queue.pushed == 2
+        assert queue.popped == 1

@@ -1,0 +1,75 @@
+"""Fast Paxos baseline: 2-delay fast path, classic recovery."""
+
+import pytest
+
+from repro import FastPaxos, FastPaxosConfig, FaultPlan, JitteredSynchrony, run_consensus
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.consensus.omega import crash_aware_omega
+
+
+class TestFastPath:
+    def test_decides_in_two_delays(self):
+        result = run_consensus(FastPaxos(), 3, 0)
+        assert result.all_decided and result.agreed and result.valid
+        assert result.earliest_decision_delay == 2.0
+
+    def test_fast_path_across_sizes(self):
+        for n in (3, 5, 7):
+            result = run_consensus(FastPaxos(), n, 0, deadline=3000)
+            assert result.earliest_decision_delay == 2.0, f"n={n}"
+            assert result.all_decided
+
+    def test_all_processes_decide_same_value(self):
+        result = run_consensus(FastPaxos(), 5, 0, inputs=list("abcde"))
+        assert len(result.decided_values) == 1
+        assert result.valid
+
+
+class TestRecovery:
+    def test_acceptor_crash_forces_recovery_but_decides(self):
+        # Fast quorum is all n; a crashed acceptor blocks the fast path and
+        # the coordinator recovers via the classic majority path.
+        faults = FaultPlan().crash_process(2, at=0.0)
+        result = run_consensus(FastPaxos(), 3, 0, faults=faults, deadline=3000)
+        assert result.all_decided and result.agreed
+        assert result.earliest_decision_delay > 2.0
+
+    def test_contention_under_jitter_recovers_safely(self):
+        for seed in (3, 5, 8, 13):
+            result = run_consensus(
+                FastPaxos(), 3, 0, latency=JitteredSynchrony(0.9), seed=seed,
+                deadline=5000,
+            )
+            assert result.agreed and result.valid, f"seed={seed}"
+
+    def test_coordinator_crash_failover(self):
+        config = ClusterConfig(n_processes=5, n_memories=0, deadline=5000)
+        faults = FaultPlan().crash_process(0, at=0.5).crash_process(1, at=0.5)
+        cluster = Cluster(FastPaxos(), config, faults)
+        cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+        result = cluster.run(list("abcde"))
+        assert result.all_decided and result.agreed
+
+    def test_forced_value_rule(self):
+        """If a value may have been fast-decided (all acceptors accepted it),
+        recovery must choose it."""
+        # Crash one process just after it fast-accepts; remaining majority
+        # all report the fast value, and recovery picks it.
+        faults = FaultPlan().crash_process(2, at=1.5)
+        result = run_consensus(
+            FastPaxos(), 3, 0, faults=faults, inputs=["F", "x", "y"],
+            deadline=5000,
+        )
+        assert result.agreed
+        if result.decided_values:
+            assert result.decided_values == {"F"}
+
+
+class TestConfig:
+    def test_recovery_delay_is_tunable(self):
+        config = FastPaxosConfig(recovery_delay=2.0)
+        faults = FaultPlan().crash_process(2, at=0.0)
+        result = run_consensus(
+            FastPaxos(config), 3, 0, faults=faults, deadline=3000
+        )
+        assert result.all_decided

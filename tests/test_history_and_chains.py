@@ -1,0 +1,132 @@
+"""Trusted-history helpers and the per-memory chain runner."""
+
+import pytest
+
+from repro.consensus.chains import ChainRunner
+from repro.trusted.history import (
+    RecvEvent,
+    SentEvent,
+    TO_ALL,
+    last_sent_matching,
+    received_events,
+    received_from,
+    sent_count,
+    sent_events,
+)
+from repro.types import MemoryId, ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+
+def _history():
+    return (
+        SentEvent(1, TO_ALL, "a"),
+        RecvEvent(ProcessId(1), 1, TO_ALL, "x"),
+        SentEvent(2, ProcessId(2), "b"),
+        RecvEvent(ProcessId(1), 2, TO_ALL, "y"),
+        RecvEvent(ProcessId(2), 1, ProcessId(0), "z"),
+    )
+
+
+class TestHistoryHelpers:
+    def test_sent_count(self):
+        assert sent_count(_history()) == 2
+        assert sent_count(()) == 0
+
+    def test_received_from(self):
+        events = received_from(_history(), ProcessId(1))
+        assert [e.message for e in events] == ["x", "y"]
+
+    def test_received_events(self):
+        assert len(received_events(_history())) == 3
+
+    def test_sent_events(self):
+        assert [e.k for e in sent_events(_history())] == [1, 2]
+
+    def test_last_sent_matching(self):
+        event = last_sent_matching(_history(), lambda m: isinstance(m, str))
+        assert event.message == "b"  # most recent
+        assert last_sent_matching(_history(), lambda m: m == "a").k == 1
+        assert last_sent_matching(_history(), lambda m: m == "nope") is None
+
+
+class TestChainRunner:
+    def test_chains_run_in_parallel(self, kernel):
+        env = env_of(kernel, 0)
+        runner = ChainRunner(env, "test")
+
+        def chain(mid):
+            result = yield from env.write(mid, "r", ("x", "k"), int(mid))
+            return result.ok
+
+        def main():
+            yield from runner.launch(chain)
+            yield from runner.wait_for(3)
+            return env.now
+
+        task = kernel.spawn(0, "main", main())
+        kernel.run(until=100)
+        assert task.result == 2.0  # parallel, not 6.0
+        assert runner.results == {MemoryId(0): True, MemoryId(1): True, MemoryId(2): True}
+
+    def test_wait_for_partial_count(self, kernel):
+        kernel.crash_memory(MemoryId(2))
+        env = env_of(kernel, 0)
+        runner = ChainRunner(env, "partial")
+
+        def chain(mid):
+            result = yield from env.write(mid, "r", ("x", "k"), 1)
+            return result.ok
+
+        def main():
+            yield from runner.launch(chain)
+            done = yield from runner.wait_for(2)
+            return (done, len(runner.results))
+
+        task = kernel.spawn(0, "main", main())
+        kernel.run(until=100)
+        done, count = task.result
+        assert done and count == 2  # the crashed memory's chain never lands
+
+    def test_wait_for_timeout(self, kernel):
+        for mid in range(3):
+            kernel.crash_memory(MemoryId(mid))
+        env = env_of(kernel, 0)
+        runner = ChainRunner(env, "stuck")
+
+        def chain(mid):
+            result = yield from env.write(mid, "r", ("x", "k"), 1)
+            return result.ok
+
+        def main():
+            yield from runner.launch(chain)
+            done = yield from runner.wait_for(1, timeout=10.0)
+            return (done, env.now)
+
+        task = kernel.spawn(0, "main", main())
+        kernel.run(until=100)
+        assert task.result == (False, 10.0)
+
+    def test_external_gate_sharing(self, kernel):
+        env = env_of(kernel, 0)
+        shared = env.new_gate("shared")
+        runner = ChainRunner(env, "shared-test", gate=shared)
+        assert runner.gate is shared
+
+    def test_multi_step_chain_sequences_per_memory(self, kernel):
+        env = env_of(kernel, 0)
+        runner = ChainRunner(env, "two-step")
+
+        def chain(mid):
+            yield from env.write(mid, "r", ("x", "a"), 1)
+            snap = yield from env.snapshot(mid, "r", ("x",))
+            return snap.ok
+
+        def main():
+            yield from runner.launch(chain)
+            yield from runner.wait_for(3)
+            return env.now
+
+        task = kernel.spawn(0, "main", main())
+        kernel.run(until=100)
+        assert task.result == 4.0  # two sequential ops per memory, parallel across

@@ -1,0 +1,167 @@
+"""Kernel edge cases and error paths."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.operations import ReadOp
+from repro.sim.kernel import Kernel, SimConfig
+from repro.types import MemoryId, ProcessId
+
+from tests.conftest import env_of, make_kernel, run_single
+
+
+class TestConfigValidation:
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_processes=0)
+
+    def test_negative_memories_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_processes=1, n_memories=-1)
+
+    def test_memoryless_system_allowed(self):
+        # The pure message-passing special case of Section 3.
+        kernel = Kernel(SimConfig(n_processes=2, n_memories=0))
+        assert kernel.memories == []
+
+
+class TestInvalidOperations:
+    def test_invoke_on_missing_memory_raises(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.invoke(9, ReadOp("r", ("x", "k")))
+
+        kernel.spawn(0, "bad", gen())
+        with pytest.raises(SimulationError):
+            kernel.run(until=10)
+
+    def test_yielding_garbage_raises(self, kernel):
+        def gen():
+            yield "not-an-effect"
+
+        kernel.spawn(0, "bad", gen())
+        with pytest.raises(SimulationError):
+            kernel.run(until=10)
+
+    def test_time_never_goes_backwards(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.sleep(5.0)
+            return env.now
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == 5.0
+        assert kernel.now >= 5.0
+
+
+class TestSamePidMultipleTasks:
+    def test_tasks_share_inbox(self, kernel):
+        env = env_of(kernel, 0)
+        got = []
+
+        def producer():
+            yield env.send(0, "one", topic="q")
+            yield env.send(0, "two", topic="q")
+
+        def consumer(tag):
+            msg = yield from env.recv(topic="q")
+            got.append((tag, msg.payload))
+
+        kernel.spawn(0, "p", producer())
+        kernel.spawn(0, "c1", consumer("c1"))
+        kernel.spawn(0, "c2", consumer("c2"))
+        kernel.run(until=50)
+        # Each message consumed exactly once across the two consumers.
+        assert sorted(p for _tag, p in got) == ["one", "two"]
+
+    def test_crash_kills_all_tasks_of_process(self, kernel):
+        env = env_of(kernel, 0)
+        ticks = []
+
+        def ticker(tag):
+            while True:
+                yield env.sleep(1.0)
+                ticks.append((tag, env.now))
+
+        kernel.spawn(0, "t1", ticker("a"))
+        kernel.spawn(0, "t2", ticker("b"))
+        kernel.call_at(2.5, lambda: kernel.crash_process(ProcessId(0)))
+        kernel.run(until=20)
+        assert all(t <= 2.5 for _tag, t in ticks)
+
+
+class TestTimeoutRaces:
+    def test_timeout_and_delivery_same_instant(self, kernel):
+        """A message arriving exactly at the timeout instant: the receiver
+        gets exactly one of the two outcomes, never both / neither."""
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            yield env0.sleep(4.0)
+            yield env0.send(1, "late", topic="t")  # arrives at t=5
+
+        def receiver():
+            msg = yield from env1.recv(topic="t", timeout=5.0)
+            return msg.payload if msg else "timeout"
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result in ("late", "timeout")
+
+    def test_stale_timer_does_not_rewake(self, kernel):
+        env = env_of(kernel, 0)
+        wakes = []
+
+        def gen():
+            msg = yield from env.recv(topic="t", timeout=10.0)
+            wakes.append(msg)
+            yield env.sleep(20.0)  # survive past the stale timer
+            wakes.append("after")
+
+        def sender():
+            yield env.send(0, "fast", topic="t")
+
+        kernel.spawn(1, "s", sender())
+        kernel.spawn(0, "r", gen())
+        kernel.run(until=100)
+        assert len(wakes) == 2
+        assert wakes[1] == "after"
+
+    def test_wait_zero_count_resumes_immediately(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            ok = yield env.wait((), count=0)
+            return (ok, env.now)
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == (True, 0.0)
+
+
+class TestMetricsPlumbing:
+    def test_message_and_op_counters(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.send(1, "x", topic="t")
+            yield from env.write(0, "r", ("x", "k"), 1)
+            yield from env.read(0, "r", ("x", "k"))
+
+        run_single(kernel, 0, gen())
+        assert kernel.metrics.total_messages() == 1
+        assert kernel.metrics.mem_ops[(ProcessId(0), "WriteOp")] == 1
+        assert kernel.metrics.mem_ops[(ProcessId(0), "ReadOp")] == 1
+
+    def test_trace_records_lifecycle(self):
+        kernel = make_kernel(trace=True)
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.send(1, "x", topic="t")
+            yield from env.write(0, "r", ("x", "k"), 1)
+
+        run_single(kernel, 0, gen())
+        kinds = {e.kind for e in kernel.tracer.events}
+        assert {"spawn", "send", "deliver", "invoke", "op_result"} <= kinds

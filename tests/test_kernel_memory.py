@@ -1,0 +1,235 @@
+"""Kernel memory-operation semantics: delays, futures, crash-hang,
+one-outstanding enforcement."""
+
+import pytest
+
+from repro.errors import OutstandingOpError
+from repro.mem.operations import ReadOp, WriteOp
+from repro.types import BOTTOM, MemoryId, ProcessId, is_bottom
+
+from tests.conftest import env_of, make_kernel, run_single
+
+
+class TestDelayAccounting:
+    def test_memory_op_takes_two_delays(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            result = yield from env.write(0, "r", ("x", "a"), 1)
+            assert result.ok
+            return env.now
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == 2.0
+
+    def test_parallel_ops_overlap(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            futures = yield from env.invoke_on_all(
+                lambda mid: WriteOp("r", ("x", "k"), int(mid))
+            )
+            yield env.wait(futures, count=len(futures))
+            return env.now
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == 2.0  # all three writes in parallel
+
+    def test_sequential_ops_accumulate(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield from env.write(0, "r", ("x", "a"), 1)
+            yield from env.read(0, "r", ("x", "a"))
+            return env.now
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == 4.0
+
+
+class TestFutures:
+    def test_write_then_read_roundtrip(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield from env.write(1, "r", ("x", "key"), {"deep": [1, 2]})
+            result = yield from env.read(1, "r", ("x", "key"))
+            return result.value
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == {"deep": [1, 2]}
+
+    def test_read_unwritten_returns_bottom(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            result = yield from env.read(0, "r", ("x", "nothing"))
+            return result.value
+
+        task = run_single(kernel, 0, gen())
+        assert is_bottom(task.result)
+
+    def test_wait_count_majority(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            futures = yield from env.invoke_on_all(
+                lambda mid: WriteOp("r", ("x", "k"), 0)
+            )
+            satisfied = yield env.wait(futures, count=2)
+            return (satisfied, sum(1 for f in futures if f.done))
+
+        task = run_single(kernel, 0, gen())
+        satisfied, done = task.result
+        assert satisfied
+        assert done >= 2
+
+    def test_wait_timeout(self, kernel):
+        kernel.crash_memory(MemoryId(0))
+        env = env_of(kernel, 0)
+
+        def gen():
+            future = yield env.invoke(0, ReadOp("r", ("x", "k")))
+            satisfied = yield env.wait((future,), count=1, timeout=5.0)
+            return (satisfied, env.now)
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == (False, 5.0)
+
+
+class TestCrashedMemory:
+    def test_op_on_crashed_memory_hangs(self, kernel):
+        kernel.crash_memory(MemoryId(1))
+        env = env_of(kernel, 0)
+
+        def gen():
+            future = yield env.invoke(1, WriteOp("r", ("x", "k"), 1))
+            yield env.sleep(50.0)
+            return future.done
+
+        task = run_single(kernel, 0, gen())
+        assert task.result is False
+
+    def test_majority_still_completes(self, kernel):
+        kernel.crash_memory(MemoryId(2))
+        env = env_of(kernel, 0)
+
+        def gen():
+            futures = yield from env.invoke_on_all(
+                lambda mid: WriteOp("r", ("x", "k"), 7)
+            )
+            yield env.wait(futures, count=2)
+            return sorted(int(f.mid) for f in futures if f.done)
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == [0, 1]
+
+    def test_crash_after_response_in_flight_still_delivers(self, kernel):
+        # The response left the memory before the crash: it arrives.
+        env = env_of(kernel, 0)
+
+        def gen():
+            future = yield env.invoke(0, WriteOp("r", ("x", "k"), 1))
+            yield env.wait((future,), count=1, timeout=20.0)
+            return future.ok
+
+        kernel.call_at(1.5, lambda: kernel.crash_memory(MemoryId(0)))
+        task = run_single(kernel, 0, gen())
+        assert task.result is True
+
+
+class TestOutstandingRule:
+    def test_strict_mode_rejects_second_op_same_memory(self):
+        kernel = make_kernel(strict_outstanding=True)
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.invoke(0, ReadOp("r", ("x", "a")))
+            yield env.invoke(0, ReadOp("r", ("x", "b")))  # same memory: boom
+
+        kernel.spawn(0, "g", gen())
+        with pytest.raises(OutstandingOpError):
+            kernel.run(until=10)
+
+    def test_strict_mode_allows_parallel_across_memories(self):
+        kernel = make_kernel(strict_outstanding=True)
+        env = env_of(kernel, 0)
+
+        def gen():
+            futures = []
+            for mid in env.memories:
+                futures.append((yield env.invoke(mid, ReadOp("r", ("x", "a")))))
+            yield env.wait(futures, count=len(futures))
+            return True
+
+        task = run_single(kernel, 0, gen())
+        assert task.result is True
+
+    def test_strict_mode_allows_sequential_reuse(self):
+        kernel = make_kernel(strict_outstanding=True)
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield from env.write(0, "r", ("x", "a"), 1)
+            yield from env.write(0, "r", ("x", "a"), 2)
+            return True
+
+        task = run_single(kernel, 0, gen())
+        assert task.result is True
+
+    def test_default_mode_is_permissive(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            first = yield env.invoke(0, ReadOp("r", ("x", "a")))
+            second = yield env.invoke(0, ReadOp("r", ("x", "b")))
+            yield env.wait((first, second), count=2)
+            return True
+
+        task = run_single(kernel, 0, gen())
+        assert task.result is True
+
+
+class TestGates:
+    def test_gate_wait_and_signal(self, kernel):
+        env = env_of(kernel, 0)
+        gate = env.new_gate("g")
+        order = []
+
+        def waiter():
+            yield env.gate_wait(gate)
+            order.append(("woke", env.now))
+
+        def signaller():
+            yield env.sleep(3.0)
+            env.signal(gate)
+            order.append(("signalled", env.now))
+
+        kernel.spawn(0, "w", waiter())
+        kernel.spawn(0, "s", signaller())
+        kernel.run(until=100)
+        assert ("signalled", 3.0) in order
+        assert ("woke", 3.0) in order
+
+    def test_gate_wait_timeout(self, kernel):
+        env = env_of(kernel, 0)
+        gate = env.new_gate("never")
+
+        def waiter():
+            arrived = yield env.gate_wait(gate, timeout=4.0)
+            return (arrived, env.now)
+
+        task = run_single(kernel, 0, waiter())
+        assert task.result == (False, 4.0)
+
+    def test_set_gate_admits_immediately(self, kernel):
+        env = env_of(kernel, 0)
+        gate = env.new_gate("pre-set")
+        gate.set()
+
+        def waiter():
+            arrived = yield env.gate_wait(gate, timeout=100.0)
+            return (arrived, env.now)
+
+        task = run_single(kernel, 0, waiter())
+        assert task.result == (True, 0.0)

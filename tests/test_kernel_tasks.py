@@ -1,0 +1,263 @@
+"""Kernel behaviour: tasks, messaging, timers, crashes, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel, SimConfig
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel, run_single
+
+
+class TestTaskLifecycle:
+    def test_task_runs_and_returns(self, kernel):
+        def gen():
+            yield env_of(kernel, 0).sleep(1.0)
+            return "done"
+
+        task = run_single(kernel, 0, gen())
+        assert task.done
+        assert task.result == "done"
+
+    def test_sleep_advances_virtual_time(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.sleep(7.5)
+            return env.now
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == 7.5
+
+    def test_spawn_child_task(self, kernel):
+        env = env_of(kernel, 0)
+        seen = []
+
+        def child():
+            yield env.sleep(1.0)
+            seen.append("child")
+
+        def parent():
+            handle = yield env.spawn("child", child())
+            assert handle.name == "child"
+            yield env.sleep(5.0)
+            seen.append("parent")
+
+        run_single(kernel, 0, parent())
+        assert seen == ["child", "parent"]
+
+    def test_runaway_loop_detected(self):
+        kernel = make_kernel(max_inline_steps=100)
+        env = env_of(kernel, 0)
+
+        def spam():
+            while True:
+                yield env.send(1, "x")
+
+        kernel.spawn(0, "spam", spam())
+        with pytest.raises(SimulationError):
+            kernel.run(until=10)
+
+
+class TestMessaging:
+    def test_send_recv_roundtrip(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            yield env0.send(1, {"k": 1}, topic="t")
+
+        def receiver():
+            msg = yield from env1.recv(topic="t")
+            return (msg.src, msg.payload)
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == (ProcessId(0), {"k": 1})
+
+    def test_message_takes_one_delay(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            yield env0.send(1, "ping", topic="t")
+
+        def receiver():
+            yield from env1.recv(topic="t")
+            return env1.now
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == 1.0
+
+    def test_recv_timeout_returns_none(self, kernel):
+        env = env_of(kernel, 0)
+
+        def receiver():
+            msg = yield from env.recv(topic="never", timeout=5.0)
+            return (msg, env.now)
+
+        task = run_single(kernel, 0, receiver())
+        assert task.result == (None, 5.0)
+
+    def test_topic_isolation(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            yield env0.send(1, "wrong", topic="a")
+            yield env0.send(1, "right", topic="b")
+
+        def receiver():
+            msg = yield from env1.recv(topic="b")
+            return msg.payload
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == "right"
+
+    def test_match_predicate(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            for i in range(5):
+                yield env0.send(1, i, topic="t")
+
+        def receiver():
+            msg = yield from env1.recv(topic="t", match=lambda e: e.payload == 3)
+            return msg.payload
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == 3
+
+    def test_broadcast_reaches_everyone(self):
+        kernel = make_kernel(n_processes=4)
+        envs = [env_of(kernel, p) for p in range(4)]
+        received = []
+
+        def sender():
+            yield from envs[0].broadcast("hello", topic="t", include_self=False)
+
+        def receiver(p):
+            msg = yield from envs[p].recv(topic="t")
+            received.append(p)
+
+        kernel.spawn(0, "s", sender())
+        for p in range(1, 4):
+            kernel.spawn(p, f"r{p}", receiver(p))
+        kernel.run(until=100)
+        assert sorted(received) == [1, 2, 3]
+
+    def test_sender_identity_is_stamped_by_kernel(self, kernel):
+        # Link integrity: receivers see the true sender, not a claimed one.
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            yield env0.send(1, {"claims_to_be": 2}, topic="t")
+
+        def receiver():
+            msg = yield from env1.recv(topic="t")
+            return msg.src
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == ProcessId(0)
+
+
+class TestCrashes:
+    def test_crashed_process_stops_running(self, kernel):
+        env = env_of(kernel, 0)
+        progress = []
+
+        def gen():
+            while True:
+                yield env.sleep(1.0)
+                progress.append(env.now)
+
+        kernel.spawn(0, "p", gen())
+        kernel.call_at(3.5, lambda: kernel.crash_process(ProcessId(0)))
+        kernel.run(until=100)
+        assert all(t <= 3.5 for t in progress)
+        assert len(progress) == 3
+
+    def test_message_to_crashed_process_is_dropped(self, kernel):
+        env0 = env_of(kernel, 0)
+        kernel.crash_process(ProcessId(1))
+
+        def sender():
+            yield env0.send(1, "x", topic="t")
+
+        run_single(kernel, 0, sender())
+        assert kernel.network.pending_count(ProcessId(1)) == 0
+
+    def test_crash_is_idempotent(self, kernel):
+        kernel.crash_process(ProcessId(0))
+        kernel.crash_process(ProcessId(0))
+        assert ProcessId(0) in kernel.crashed_processes
+
+    def test_correct_processes_listing(self, kernel):
+        kernel.crash_process(ProcessId(1))
+        kernel.mark_byzantine(ProcessId(2))
+        assert kernel.correct_processes() == [ProcessId(0)]
+
+
+class TestDeterminism:
+    def _trace_run(self, seed):
+        kernel = make_kernel(seed=seed)
+        envs = [env_of(kernel, p) for p in range(3)]
+        log = []
+
+        def chatter(p):
+            for i in range(5):
+                yield envs[p].send((p + 1) % 3, (p, i), topic="t")
+                msg = yield from envs[p].recv(topic="t", timeout=10.0)
+                log.append((envs[p].now, p, msg.payload if msg else None))
+                yield envs[p].sleep(envs[p].rng.random())
+
+        for p in range(3):
+            kernel.spawn(p, f"c{p}", chatter(p))
+        kernel.run(until=1000)
+        return log
+
+    def test_same_seed_same_schedule(self):
+        assert self._trace_run(42) == self._trace_run(42)
+
+    def test_different_seed_different_schedule(self):
+        # Seeds drive the jitter in rng.random() sleeps.
+        assert self._trace_run(1) != self._trace_run(2)
+
+
+class TestRunControl:
+    def test_run_until_stops_at_deadline(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            while True:
+                yield env.sleep(1.0)
+
+        kernel.spawn(0, "p", gen())
+        kernel.run(until=10)
+        assert kernel.now <= 10
+
+    def test_stop_when_predicate(self, kernel):
+        env = env_of(kernel, 0)
+        hits = []
+
+        def gen():
+            while True:
+                yield env.sleep(1.0)
+                hits.append(env.now)
+
+        kernel.spawn(0, "p", gen())
+        kernel.run(until=100, stop_when=lambda: len(hits) >= 3)
+        assert len(hits) == 3
+
+    def test_run_until_decided(self, kernel):
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.sleep(2.0)
+            env.decide("v")
+
+        kernel.spawn(0, "p", gen())
+        done = kernel.run_until_decided({ProcessId(0)}, deadline=100)
+        assert done
+        assert kernel.metrics.decisions[ProcessId(0)].value == "v"

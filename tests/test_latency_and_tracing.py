@@ -1,0 +1,123 @@
+"""Latency models and the tracer."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import (
+    AdversarialLatency,
+    JitteredSynchrony,
+    NominalLatency,
+    PartialSynchrony,
+)
+from repro.sim.tracing import TraceEvent, Tracer
+
+
+class TestNominal:
+    def test_unit_delays(self):
+        model = NominalLatency()
+        rng = random.Random(0)
+        assert model.message_delay(0, 1, 0.0, rng) == 1.0
+        assert model.memory_request_delay(0, 0, 0.0, rng) == 1.0
+        assert model.memory_response_delay(0, 0, 0.0, rng) == 1.0
+
+
+class TestJitter:
+    def test_bounds(self):
+        model = JitteredSynchrony(jitter=0.3)
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = model.message_delay(0, 1, 0.0, rng)
+            assert 1.0 <= delay <= 1.3
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            JitteredSynchrony(jitter=1.5)
+        with pytest.raises(ValueError):
+            JitteredSynchrony(jitter=-0.1)
+
+
+class TestPartialSynchrony:
+    def test_chaos_before_gst(self):
+        model = PartialSynchrony(gst=100.0, bound=2.0, chaos=50.0)
+        rng = random.Random(2)
+        pre = [model.message_delay(0, 1, 10.0, rng) for _ in range(200)]
+        assert max(pre) > 10.0  # genuinely chaotic
+
+    def test_bounded_after_gst(self):
+        model = PartialSynchrony(gst=100.0, bound=2.0, chaos=50.0)
+        rng = random.Random(2)
+        post = [model.message_delay(0, 1, 200.0, rng) for _ in range(200)]
+        assert all(1.0 <= d <= 2.0 for d in post)
+
+
+class TestAdversarial:
+    def test_override_applies(self):
+        model = AdversarialLatency(
+            lambda kind, a, b, now: 99.0 if kind == "msg" else None
+        )
+        rng = random.Random(0)
+        assert model.message_delay(0, 1, 0.0, rng) == 99.0
+        assert model.memory_request_delay(0, 0, 0.0, rng) == 1.0
+
+    def test_fallback_base_model(self):
+        model = AdversarialLatency(
+            lambda kind, a, b, now: None, base=JitteredSynchrony(0.1)
+        )
+        rng = random.Random(0)
+        assert 1.0 <= model.message_delay(0, 1, 0.0, rng) <= 1.1
+
+    def test_memory_leg_overrides(self):
+        def override(kind, actor, peer, now):
+            if kind == "mem_req" and actor == 1:
+                return 50.0
+            if kind == "mem_resp" and peer == 2:
+                return 60.0
+            return None
+
+        model = AdversarialLatency(override)
+        rng = random.Random(0)
+        assert model.memory_request_delay(1, 0, 0.0, rng) == 50.0
+        assert model.memory_request_delay(0, 0, 0.0, rng) == 1.0
+        assert model.memory_response_delay(0, 2, 0.0, rng) == 60.0
+
+
+class TestTracer:
+    def test_disabled_by_default_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "kind", "actor")
+        assert tracer.events == []
+
+    def test_records_when_enabled(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "send", "p1", dst="p2")
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.kind == "send" and event.detail["dst"] == "p2"
+
+    def test_filters(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "send", "p1")
+        tracer.record(2.0, "deliver", "p2")
+        tracer.record(3.0, "send", "p2")
+        assert len(list(tracer.of_kind("send"))) == 2
+        assert len(list(tracer.by_actor("p2"))) == 2
+        assert tracer.first("deliver").time == 2.0
+        assert tracer.first("nothing") is None
+
+    def test_truncation(self):
+        tracer = Tracer(enabled=True, max_events=3)
+        for i in range(10):
+            tracer.record(float(i), "k", "a")
+        assert len(tracer.events) == 3
+        assert tracer.truncated
+
+    def test_dump_format(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.5, "send", "p1", topic="t")
+        dump = tracer.dump()
+        assert "send" in dump and "p1" in dump and "topic" in dump
+
+    def test_event_str(self):
+        event = TraceEvent(2.0, "invoke", "p1/main", {"op": "WriteOp"})
+        assert "invoke" in str(event) and "WriteOp" in str(event)

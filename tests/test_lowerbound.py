@@ -1,0 +1,72 @@
+"""Theorem 6.1: the lower-bound adversary and who survives it."""
+
+import pytest
+
+from repro.lowerbound import (
+    attack_disk_paxos,
+    attack_naive_fast,
+    attack_protected_memory_paxos,
+    solo_fast_delay,
+)
+from repro.lowerbound.naive_fast import NaiveFastConsensus
+from repro.core.cluster import run_consensus
+from repro.errors import ConfigurationError
+
+
+class TestStrawman:
+    def test_solo_execution_is_two_deciding(self):
+        assert solo_fast_delay() == 2.0
+
+    def test_uncontended_multiprocess_run_agrees(self):
+        # Without the adversary the strawman gets lucky (contention is
+        # visible) — it is not trivially broken, which is what makes the
+        # theorem interesting.
+        result = run_consensus(NaiveFastConsensus(), 2, 2, strict_safety=False)
+        assert result.agreed
+
+    def test_needs_one_memory_per_process(self):
+        with pytest.raises(ConfigurationError):
+            run_consensus(NaiveFastConsensus(), 3, 2)
+
+
+class TestTheAttack:
+    def test_strawman_violates_agreement(self):
+        report = attack_naive_fast()
+        assert report.agreement_violated
+        assert len(report.decisions) == 2
+        assert set(report.decisions.values()) == {"value-A", "value-B"}
+
+    def test_violation_is_schedule_driven_not_random(self):
+        # The construction is deterministic: same report every time.
+        first = attack_naive_fast()
+        second = attack_naive_fast()
+        assert first.decisions == second.decisions
+        assert first.violations == second.violations
+
+    def test_longer_write_delays_also_violate(self):
+        report = attack_naive_fast(write_delay=500.0)
+        assert report.agreement_violated
+
+
+class TestWhoSurvives:
+    def test_protected_memory_paxos_survives(self):
+        report = attack_protected_memory_paxos()
+        assert not report.agreement_violated
+        assert len(set(report.decisions.values())) == 1
+
+    def test_pmp_survival_mechanism_is_the_nak(self):
+        """The delayed write is refused: dynamic permissions let the fast
+        path detect contention with zero extra delays."""
+        report = attack_protected_memory_paxos()
+        assert report.fast_path_write_naked
+
+    def test_disk_paxos_survives(self):
+        report = attack_disk_paxos()
+        assert not report.agreement_violated
+        assert len(set(report.decisions.values())) == 1
+
+    def test_survivors_decide_the_contenders_value(self):
+        # p0's value was never safely installed; both correct algorithms
+        # converge on p1's value.
+        for report in (attack_protected_memory_paxos(), attack_disk_paxos()):
+            assert set(report.decisions.values()) == {"value-B"}

@@ -1,0 +1,195 @@
+"""Memory semantics: regions, permission enforcement, snapshots,
+legalChange no-op behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.layout import MemoryLayout
+from repro.mem.memory import Memory
+from repro.mem.operations import ChangePermissionOp, ReadOp, SnapshotOp, WriteOp
+from repro.mem.permissions import Permission, revoke_only_policy
+from repro.mem.regions import RegionSpec
+from repro.types import MemoryId, ProcessId, is_bottom
+
+
+def _memory(regions) -> Memory:
+    return Memory(MemoryId(0), MemoryLayout(list(regions)))
+
+
+def _swmr_memory(n=3):
+    return _memory(
+        [RegionSpec(f"s:{p}", ("s", p), Permission.swmr(p, range(n))) for p in range(n)]
+    )
+
+
+class TestReadWrite:
+    def test_owner_writes_and_reads(self):
+        mem = _swmr_memory()
+        assert mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "k"), 42)).ok
+        result = mem.apply(ProcessId(0), ReadOp("s:0", ("s", 0, "k")))
+        assert result.ok and result.value == 42
+
+    def test_non_owner_write_naks(self):
+        mem = _swmr_memory()
+        result = mem.apply(ProcessId(1), WriteOp("s:0", ("s", 0, "k"), 13))
+        assert not result.ok
+        assert is_bottom(mem.peek(("s", 0, "k")))
+
+    def test_everyone_reads_swmr(self):
+        mem = _swmr_memory()
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "k"), "v"))
+        for p in range(3):
+            assert mem.apply(ProcessId(p), ReadOp("s:0", ("s", 0, "k"))).value == "v"
+
+    def test_key_outside_region_naks(self):
+        mem = _swmr_memory()
+        result = mem.apply(ProcessId(0), WriteOp("s:0", ("other", "k"), 1))
+        assert not result.ok
+
+    def test_unknown_region_naks(self):
+        mem = _swmr_memory()
+        assert not mem.apply(ProcessId(0), ReadOp("nope", ("s", 0, "k"))).ok
+
+    def test_unwritten_register_reads_bottom(self):
+        mem = _swmr_memory()
+        result = mem.apply(ProcessId(1), ReadOp("s:0", ("s", 0, "never")))
+        assert result.ok and is_bottom(result.value)
+
+    def test_overwrite_replaces(self):
+        mem = _swmr_memory()
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "k"), "old"))
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "k"), "new"))
+        assert mem.apply(ProcessId(1), ReadOp("s:0", ("s", 0, "k"))).value == "new"
+
+
+class TestSnapshot:
+    def test_snapshot_returns_prefix_view(self):
+        mem = _swmr_memory()
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "a"), 1))
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "b"), 2))
+        result = mem.apply(ProcessId(2), SnapshotOp("s:0", ("s", 0)))
+        assert result.ok
+        assert result.value == {("s", 0, "a"): 1, ("s", 0, "b"): 2}
+
+    def test_snapshot_excludes_other_regions(self):
+        mem = _swmr_memory()
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "a"), 1))
+        mem.apply(ProcessId(1), WriteOp("s:1", ("s", 1, "a"), 9))
+        result = mem.apply(ProcessId(2), SnapshotOp("s:0", ("s", 0)))
+        assert ("s", 1, "a") not in result.value
+
+    def test_snapshot_without_read_permission_naks(self):
+        region = RegionSpec("priv", ("priv",), Permission(readwrite=frozenset({0})))
+        mem = _memory([region])
+        assert not mem.apply(ProcessId(1), SnapshotOp("priv", ("priv",))).ok
+
+    def test_empty_snapshot(self):
+        mem = _swmr_memory()
+        result = mem.apply(ProcessId(0), SnapshotOp("s:1", ("s", 1)))
+        assert result.ok and result.value == {}
+
+
+class TestChangePermission:
+    def _revocable(self):
+        revoked = Permission.read_only(range(3))
+        return _memory(
+            [
+                RegionSpec(
+                    "lead",
+                    ("lead",),
+                    Permission.exclusive_writer(0, range(3)),
+                    legal_change=revoke_only_policy(revoked),
+                )
+            ]
+        ), revoked
+
+    def test_legal_change_applies(self):
+        mem, revoked = self._revocable()
+        result = mem.apply(ProcessId(2), ChangePermissionOp("lead", revoked))
+        assert result.ok
+        assert mem.permission_of("lead") == revoked
+
+    def test_illegal_change_is_noop(self):
+        mem, _ = self._revocable()
+        grab = Permission.exclusive_writer(2, range(3))
+        before = mem.permission_of("lead")
+        result = mem.apply(ProcessId(2), ChangePermissionOp("lead", grab))
+        assert not result.ok
+        assert mem.permission_of("lead") == before
+
+    def test_write_after_revocation_naks(self):
+        mem, revoked = self._revocable()
+        assert mem.apply(ProcessId(0), WriteOp("lead", ("lead", "v"), 1)).ok
+        mem.apply(ProcessId(2), ChangePermissionOp("lead", revoked))
+        assert not mem.apply(ProcessId(0), WriteOp("lead", ("lead", "v"), 2)).ok
+        # The old value is preserved.
+        assert mem.apply(ProcessId(1), ReadOp("lead", ("lead", "v"))).value == 1
+
+    def test_static_region_never_changes(self):
+        mem = _swmr_memory()
+        anything = Permission.open(range(3))
+        result = mem.apply(ProcessId(0), ChangePermissionOp("s:0", anything))
+        assert not result.ok
+
+
+class TestCounters:
+    def test_op_counters(self):
+        mem = _swmr_memory()
+        mem.apply(ProcessId(0), WriteOp("s:0", ("s", 0, "a"), 1))
+        mem.apply(ProcessId(1), ReadOp("s:0", ("s", 0, "a")))
+        mem.apply(ProcessId(1), SnapshotOp("s:0", ("s", 0)))
+        mem.apply(ProcessId(1), WriteOp("s:0", ("s", 0, "a"), 2))  # nak
+        assert mem.counts.writes == 2
+        assert mem.counts.reads == 1
+        assert mem.counts.snapshots == 1
+        assert mem.counts.naks == 1
+
+
+class TestLayout:
+    def test_duplicate_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(
+                [
+                    RegionSpec("a", ("a",), Permission.open(range(2))),
+                    RegionSpec("a", ("b",), Permission.open(range(2))),
+                ]
+            )
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(
+                [
+                    RegionSpec("a", ("x",), Permission.open(range(2))),
+                    RegionSpec("b", ("x", 1), Permission.open(range(2))),
+                ]
+            )
+
+    def test_region_for_lookup(self):
+        layout = MemoryLayout(
+            [
+                RegionSpec("a", ("a",), Permission.open(range(2))),
+                RegionSpec("b", ("b",), Permission.open(range(2))),
+            ]
+        )
+        assert layout.region_for(("a", 1, 2)).region_id == "a"
+        assert layout.region_for(("b",)).region_id == "b"
+        assert layout.region_for(("c",)) is None
+
+    def test_merged_with(self):
+        first = MemoryLayout([RegionSpec("a", ("a",), Permission.open(range(2)))])
+        second = MemoryLayout([RegionSpec("b", ("b",), Permission.open(range(2)))])
+        merged = first.merged_with(second)
+        assert merged.region_ids() == ["a", "b"]
+
+    def test_region_contains(self):
+        spec = RegionSpec("a", ("neb", 2), Permission.open(range(3)))
+        assert spec.contains(("neb", 2, 1, 0))
+        assert not spec.contains(("neb", 3, 1, 0))
+        assert not spec.contains(("neb",))
+
+    def test_region_overlap_detection(self):
+        a = RegionSpec("a", ("x",), Permission.open(range(2)))
+        b = RegionSpec("b", ("x", 1), Permission.open(range(2)))
+        c = RegionSpec("c", ("y",), Permission.open(range(2)))
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)

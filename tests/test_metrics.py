@@ -1,0 +1,103 @@
+"""Metrics ledger: decisions, agreement checking, delays, counters."""
+
+import pytest
+
+from repro.errors import AgreementViolation
+from repro.metrics.ledger import MetricsLedger
+from repro.metrics.reporting import format_check, format_table
+from repro.types import ProcessId
+
+P0, P1, P2 = ProcessId(0), ProcessId(1), ProcessId(2)
+
+
+class TestDecisions:
+    def test_record_and_delay(self):
+        ledger = MetricsLedger()
+        ledger.record_proposal(P0, 1.0)
+        ledger.record_decision(P0, "v", 3.0)
+        assert ledger.delays_of(P0) == 2.0
+        assert ledger.decided_values() == {"v"}
+
+    def test_decision_without_proposal_has_no_delay(self):
+        ledger = MetricsLedger()
+        ledger.record_decision(P0, "v", 3.0)
+        assert ledger.delays_of(P0) is None
+
+    def test_proposal_time_is_first_call(self):
+        ledger = MetricsLedger()
+        ledger.record_proposal(P0, 1.0)
+        ledger.record_proposal(P0, 5.0)
+        assert ledger.proposals[P0] == 1.0
+
+    def test_repeat_decision_same_value_is_noop(self):
+        ledger = MetricsLedger()
+        ledger.record_decision(P0, "v", 1.0)
+        ledger.record_decision(P0, "v", 9.0)
+        assert ledger.decisions[P0].decided_at == 1.0
+
+    def test_earliest_decision_delay(self):
+        ledger = MetricsLedger()
+        for pid, t in [(P0, 4.0), (P1, 2.0), (P2, 6.0)]:
+            ledger.record_proposal(pid, 0.0)
+            ledger.record_decision(pid, "v", t)
+        assert ledger.earliest_decision_delay() == 2.0
+
+
+class TestAgreementChecking:
+    def test_conflicting_decisions_raise_in_strict_mode(self):
+        ledger = MetricsLedger(strict_safety=True)
+        ledger.record_decision(P0, "a", 1.0)
+        with pytest.raises(AgreementViolation):
+            ledger.record_decision(P1, "b", 2.0)
+
+    def test_conflicting_decisions_recorded_in_lenient_mode(self):
+        ledger = MetricsLedger(strict_safety=False)
+        ledger.record_decision(P0, "a", 1.0)
+        ledger.record_decision(P1, "b", 2.0)
+        assert len(ledger.violations) == 1
+
+    def test_revoked_decision_detected(self):
+        ledger = MetricsLedger(strict_safety=False)
+        ledger.record_decision(P0, "a", 1.0)
+        ledger.record_decision(P0, "b", 2.0)
+        assert ledger.violations
+
+    def test_byzantine_decisions_ignored(self):
+        ledger = MetricsLedger(strict_safety=True)
+        ledger.byzantine.add(P2)
+        ledger.record_decision(P0, "a", 1.0)
+        ledger.record_decision(P2, "evil", 2.0)  # no exception
+        assert ledger.decided_values() == {"a"}
+        assert ledger.decided_values(exclude_byzantine=False) == {"a", "evil"}
+
+
+class TestCounters:
+    def test_totals(self):
+        ledger = MetricsLedger()
+        ledger.count_message(P0)
+        ledger.count_message(P1)
+        ledger.count_mem_op(P0, "WriteOp")
+        ledger.count_signature(P0)
+        ledger.count_signature(P0)
+        assert ledger.total_messages() == 2
+        assert ledger.total_mem_ops() == 1
+        assert ledger.total_signatures() == 2
+        assert ledger.signatures[P0] == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["algo", "delays"], [["PMP", 2.0], ["DiskPaxos", 4.0]])
+        lines = table.splitlines()
+        assert lines[0].startswith("algo")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("PMP")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+    def test_format_check(self):
+        assert format_check("x", True) == "[PASS] x"
+        assert format_check("y", False) == "[FAIL] y"

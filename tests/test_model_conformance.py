@@ -1,0 +1,86 @@
+"""Model conformance: protocols under the strict one-outstanding-op rule.
+
+Section 3 allows each process at most one outstanding operation per memory.
+The kernel can enforce this per task; the chain-structured protocols
+(Protected Memory Paxos, Disk Paxos, Aligned Paxos) issue exactly one
+operation at a time per memory chain and must run unchanged under strict
+enforcement.
+
+(The register-polling algorithms — Cheap Quorum's `read_many`, the
+broadcast delivery loop — pipeline several register reads per memory in one
+logical step, an explicitly documented modeling liberty; see DESIGN.md.)
+"""
+
+import pytest
+
+from repro.consensus.aligned_paxos import AlignedPaxos
+from repro.consensus.disk_paxos import DiskPaxos
+from repro.consensus.protected_memory_paxos import ProtectedMemoryPaxos
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.failures.plans import FaultPlan
+
+
+def _run_strict(protocol, faults=None, n=3, m=3, deadline=5000):
+    cluster = Cluster(
+        protocol, ClusterConfig(n, m, deadline=deadline), faults
+    )
+    cluster.kernel.config.strict_outstanding = True
+    return cluster.run([f"v{p}" for p in range(n)])
+
+
+class TestStrictOutstanding:
+    def test_pmp_conforms(self):
+        result = _run_strict(ProtectedMemoryPaxos())
+        assert result.all_decided and result.agreed
+        assert result.earliest_decision_delay == 2.0
+
+    def test_pmp_with_takeover_conforms(self):
+        from repro.consensus.omega import leader_schedule
+
+        cluster = Cluster(
+            ProtectedMemoryPaxos(),
+            ClusterConfig(
+                2, 3, deadline=5000,
+                omega=leader_schedule([(0.0, 0), (5.0, 1)]),
+            ),
+        )
+        cluster.kernel.config.strict_outstanding = True
+        result = cluster.run(["a", "b"])
+        assert result.agreed
+
+    def test_disk_paxos_conforms(self):
+        result = _run_strict(DiskPaxos())
+        assert result.all_decided and result.agreed
+        assert result.earliest_decision_delay == 4.0
+
+    def test_aligned_paxos_conforms(self):
+        result = _run_strict(AlignedPaxos())
+        assert result.all_decided and result.agreed
+        assert result.earliest_decision_delay == 2.0
+
+    def test_pmp_with_memory_crash_conforms(self):
+        faults = FaultPlan().crash_memory(1, at=0.0)
+        result = _run_strict(ProtectedMemoryPaxos(), faults=faults)
+        assert result.all_decided and result.agreed
+
+
+class TestRunSummary:
+    def test_summary_mentions_everything(self):
+        from repro import run_consensus
+
+        result = run_consensus(ProtectedMemoryPaxos(), 3, 3)
+        text = result.summary()
+        assert "all decided" in text
+        assert "agreement: ok" in text
+        assert "validity : ok" in text
+        assert "p1: decided" in text
+        assert "memory ops" in text
+
+    def test_summary_reports_blocked_run(self):
+        from repro import run_consensus
+
+        faults = FaultPlan().crash_memory(0).crash_memory(1)
+        result = run_consensus(
+            ProtectedMemoryPaxos(), 3, 3, faults=faults, deadline=100
+        )
+        assert "NOT all decided" in result.summary()

@@ -1,0 +1,83 @@
+"""Property-based tests for non-equivocating broadcast under random
+schedules: the Definition 1 properties must hold for every jitter seed."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.broadcast.nonequivocating import (
+    NonEquivocatingBroadcast,
+    neb_regions,
+)
+from repro.sim.latency import JitteredSynchrony
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+_SETTINGS = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _run_broadcast_session(seed, jitter, messages_per_sender, n=3):
+    kernel = make_kernel(
+        n, 3, regions=neb_regions(range(n)),
+        latency=JitteredSynchrony(jitter), seed=seed,
+    )
+    endpoints = []
+    for p in range(n):
+        env = env_of(kernel, p)
+        neb = NonEquivocatingBroadcast(env)
+        kernel.spawn(p, "neb", neb.delivery_daemon())
+        endpoints.append(neb)
+
+        def sender(neb=neb, p=p):
+            for i in range(messages_per_sender):
+                yield from neb.broadcast((p, i))
+
+        kernel.spawn(p, "send", sender())
+    kernel.run(until=3000)
+    return endpoints
+
+
+class TestBroadcastProperties:
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        jitter=st.floats(0.0, 0.8),
+        count=st.integers(1, 4),
+    )
+    def test_all_correct_processes_deliver_everything(self, seed, jitter, count):
+        endpoints = _run_broadcast_session(seed, jitter, count)
+        expected = {(ProcessId(p), k) for p in range(3) for k in range(1, count + 1)}
+        for neb in endpoints:
+            delivered = {(d.sender, d.k) for d in neb.delivered}
+            assert delivered == expected
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), jitter=st.floats(0.0, 0.8))
+    def test_identical_payload_per_slot_across_receivers(self, seed, jitter):
+        endpoints = _run_broadcast_session(seed, jitter, 3)
+        views = [
+            {(d.sender, d.k): d.payload for d in neb.delivered}
+            for neb in endpoints
+        ]
+        for key in views[0]:
+            values = {view[key] for view in views if key in view}
+            assert len(values) == 1
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_per_sender_delivery_order(self, seed):
+        endpoints = _run_broadcast_session(seed, 0.5, 4)
+        for neb in endpoints:
+            for sender in range(3):
+                ks = [d.k for d in neb.delivered if int(d.sender) == sender]
+                assert ks == sorted(ks)
+                assert ks == list(range(1, len(ks) + 1))
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_no_duplicate_deliveries(self, seed):
+        endpoints = _run_broadcast_session(seed, 0.6, 3)
+        for neb in endpoints:
+            keys = [(d.sender, d.k) for d in neb.delivered]
+            assert len(keys) == len(set(keys))

@@ -1,0 +1,106 @@
+"""White-box unit tests for PaxosNode's acceptor and selection logic."""
+
+import pytest
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.base import DirectTransport
+from repro.consensus.messages import Accept, Accepted, Nack, Prepare, Promise
+from repro.consensus.paxos import PaxosConfig, PaxosNode
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+B1 = Ballot(1, 0)
+B2 = Ballot(2, 1)
+B3 = Ballot(3, 2)
+
+
+def _node(kernel, pid=0, value="mine"):
+    env = env_of(kernel, pid)
+    return PaxosNode(env, DirectTransport(env, topic="unit"), value)
+
+
+def _drive(kernel, gen):
+    task = kernel.spawn(0, "drive", gen)
+    kernel.run(until=100)
+    return task
+
+
+class TestAcceptorRules:
+    def test_promise_on_higher_ballot(self, kernel):
+        node = _node(kernel)
+        _drive(kernel, node._on_prepare(ProcessId(1), Prepare(B1)))
+        assert node.acceptor.promised == B1
+
+    def test_nack_on_lower_ballot(self, kernel):
+        node = _node(kernel)
+        _drive(kernel, node._on_prepare(ProcessId(1), Prepare(B2)))
+        _drive(kernel, node._on_prepare(ProcessId(2), Prepare(B1)))
+        assert node.acceptor.promised == B2  # unchanged by the lower one
+
+    def test_accept_updates_state(self, kernel):
+        node = _node(kernel)
+        _drive(kernel, node._on_accept(ProcessId(1), Accept(B1, "v")))
+        assert node.acceptor.accepted_ballot == B1
+        assert node.acceptor.accepted_value == "v"
+        assert node.acceptor.promised == B1
+
+    def test_accept_below_promise_rejected(self, kernel):
+        node = _node(kernel)
+        _drive(kernel, node._on_prepare(ProcessId(1), Prepare(B2)))
+        _drive(kernel, node._on_accept(ProcessId(2), Accept(B1, "v")))
+        assert node.acceptor.accepted_ballot is None
+
+    def test_accept_at_exact_promise_allowed(self, kernel):
+        node = _node(kernel)
+        _drive(kernel, node._on_prepare(ProcessId(1), Prepare(B1)))
+        _drive(kernel, node._on_accept(ProcessId(1), Accept(B1, "v")))
+        assert node.acceptor.accepted_ballot == B1
+
+
+class TestValueSelection:
+    def test_no_accepted_pairs_keeps_own_value(self, kernel):
+        node = _node(kernel, value="own")
+        node.promises[B3] = {
+            ProcessId(1): Promise(B3, None, None),
+            ProcessId(2): Promise(B3, None, None),
+        }
+        assert node._choose_value(B3) == "own"
+
+    def test_adopts_highest_accepted(self, kernel):
+        node = _node(kernel, value="own")
+        node.promises[B3] = {
+            ProcessId(1): Promise(B3, B1, "older"),
+            ProcessId(2): Promise(B3, B2, "newer"),
+        }
+        assert node._choose_value(B3) == "newer"
+
+    def test_mixed_none_and_accepted(self, kernel):
+        node = _node(kernel, value="own")
+        node.promises[B3] = {
+            ProcessId(1): Promise(B3, None, None),
+            ProcessId(2): Promise(B3, B1, "forced"),
+        }
+        assert node._choose_value(B3) == "forced"
+
+
+class TestLearning:
+    def test_learn_is_idempotent(self, kernel):
+        node = _node(kernel)
+        node._learn("v")
+        node._learn("v")
+        assert node.decided and node.decided_value == "v"
+        assert kernel.metrics.decisions[ProcessId(0)].value == "v"
+
+    def test_nack_filing_updates_highest_seen(self, kernel):
+        node = _node(kernel)
+        node._file_nack(Nack(ballot=B1, promised=B3))
+        assert node.highest_seen == B3
+        assert B1 in node.nacked
+
+    def test_accepted_filing_counts_distinct_senders(self, kernel):
+        node = _node(kernel)
+        node._file_accepted(ProcessId(1), Accepted(B1, "v"))
+        node._file_accepted(ProcessId(1), Accepted(B1, "v"))
+        node._file_accepted(ProcessId(2), Accepted(B1, "v"))
+        assert len(node.accepts[B1]) == 2

@@ -1,0 +1,178 @@
+"""Paxos conformance rules: each message type's accept/reject conditions."""
+
+import pytest
+
+from repro.consensus.ballots import Ballot
+from repro.consensus.messages import (
+    Accept,
+    Accepted,
+    Decision,
+    Nack,
+    Prepare,
+    Promise,
+    SetupValue,
+)
+from repro.trusted.history import RecvEvent, SentEvent, TO_ALL
+from repro.trusted.validators import PaxosConformance, PermissiveConformance
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+QUORUM = 2
+B1 = Ballot(1, 0)
+B2 = Ballot(2, 1)
+
+
+@pytest.fixture
+def env():
+    return env_of(make_kernel(), 0)
+
+
+@pytest.fixture
+def validator():
+    return PaxosConformance(quorum=QUORUM)
+
+
+def _recv(sender, msg, k=1, dst=TO_ALL):
+    return RecvEvent(ProcessId(sender), k, dst, msg)
+
+
+def _sent(k, msg, dst=TO_ALL):
+    return SentEvent(k, dst, msg)
+
+
+class TestPrepare:
+    def test_own_ballot_ok(self, env, validator):
+        assert validator.validate(env, ProcessId(0), 1, Prepare(B1), ())
+
+    def test_foreign_ballot_rejected(self, env, validator):
+        assert not validator.validate(env, ProcessId(1), 1, Prepare(B1), ())
+
+    def test_ballot_must_increase(self, env, validator):
+        history = (_sent(1, Prepare(Ballot(5, 0))),)
+        assert not validator.validate(
+            env, ProcessId(0), 2, Prepare(Ballot(3, 0)), history
+        )
+        assert validator.validate(
+            env, ProcessId(0), 2, Prepare(Ballot(6, 0)), history
+        )
+
+
+class TestPromise:
+    def test_promise_needs_received_prepare(self, env, validator):
+        msg = Promise(B1, None, None)
+        assert not validator.validate(env, ProcessId(1), 1, msg, ())
+        history = (_recv(0, Prepare(B1)),)
+        assert validator.validate(env, ProcessId(1), 1, msg, history)
+
+    def test_promise_after_higher_promise_rejected(self, env, validator):
+        history = (
+            _recv(1, Prepare(B2)),
+            _sent(1, Promise(B2, None, None)),
+            _recv(0, Prepare(B1), k=2),
+        )
+        assert not validator.validate(
+            env, ProcessId(2), 2, Promise(B1, None, None), history
+        )
+
+    def test_promise_must_report_last_accepted(self, env, validator):
+        history = (
+            _recv(0, Prepare(B1)),
+            _sent(1, Promise(B1, None, None)),
+            _recv(0, Accept(B1, "v")),
+            _sent(2, Accepted(B1, "v")),
+            _recv(1, Prepare(B2)),
+        )
+        honest = Promise(B2, B1, "v")
+        lying_none = Promise(B2, None, None)
+        lying_value = Promise(B2, B1, "other")
+        assert validator.validate(env, ProcessId(2), 3, honest, history)
+        assert not validator.validate(env, ProcessId(2), 3, lying_none, history)
+        assert not validator.validate(env, ProcessId(2), 3, lying_value, history)
+
+
+class TestAccept:
+    def _promises(self, value=None, ballot=B1):
+        accepted = (ballot, value) if value is not None else (None, None)
+        return (
+            _recv(1, Promise(B1, *accepted)),
+            _recv(2, Promise(B1, None, None)),
+        )
+
+    def test_accept_needs_promise_quorum(self, env, validator):
+        msg = Accept(B1, "mine")
+        assert not validator.validate(env, ProcessId(0), 1, msg, ())
+        one_promise = (_recv(1, Promise(B1, None, None)),)
+        assert not validator.validate(env, ProcessId(0), 1, msg, one_promise)
+        assert validator.validate(env, ProcessId(0), 1, msg, self._promises())
+
+    def test_accept_must_adopt_highest_accepted(self, env, validator):
+        history = (
+            _recv(1, Promise(B1, Ballot(0, 2), "forced")),
+            _recv(2, Promise(B1, None, None)),
+        )
+        assert validator.validate(env, ProcessId(0), 1, Accept(B1, "forced"), history)
+        assert not validator.validate(env, ProcessId(0), 1, Accept(B1, "own"), history)
+
+    def test_accept_foreign_ballot_rejected(self, env, validator):
+        assert not validator.validate(
+            env, ProcessId(0), 1, Accept(B2, "v"), self._promises()
+        )
+
+
+class TestAccepted:
+    def test_accepted_needs_matching_accept(self, env, validator):
+        msg = Accepted(B1, "v")
+        assert not validator.validate(env, ProcessId(1), 1, msg, ())
+        history = (_recv(0, Accept(B1, "v")),)
+        assert validator.validate(env, ProcessId(1), 1, msg, history)
+
+    def test_accepted_with_wrong_value_rejected(self, env, validator):
+        history = (_recv(0, Accept(B1, "v")),)
+        assert not validator.validate(
+            env, ProcessId(1), 1, Accepted(B1, "other"), history
+        )
+
+
+class TestNack:
+    def test_nack_needs_justification(self, env, validator):
+        msg = Nack(B1, B2)
+        assert not validator.validate(env, ProcessId(2), 1, msg, ())
+        justified = (_recv(1, Prepare(B2)),)
+        assert validator.validate(env, ProcessId(2), 1, msg, justified)
+
+    def test_nack_justified_by_own_promise(self, env, validator):
+        history = (_recv(1, Prepare(B2)), _sent(1, Promise(B2, None, None)))
+        assert validator.validate(env, ProcessId(2), 2, Nack(B1, B2), history)
+
+
+class TestDecision:
+    def test_decision_needs_accepted_quorum(self, env, validator):
+        msg = Decision("v")
+        assert not validator.validate(env, ProcessId(0), 1, msg, ())
+        one = (_recv(1, Accepted(B1, "v")),)
+        assert not validator.validate(env, ProcessId(0), 1, msg, one)
+        quorum = (_recv(1, Accepted(B1, "v")), _recv(2, Accepted(B1, "v")))
+        assert validator.validate(env, ProcessId(0), 1, msg, quorum)
+
+    def test_votes_must_share_a_ballot(self, env, validator):
+        split = (_recv(1, Accepted(B1, "v")), _recv(2, Accepted(B2, "v")))
+        assert not validator.validate(env, ProcessId(0), 1, Decision("v"), split)
+
+    def test_votes_must_match_value(self, env, validator):
+        mixed = (_recv(1, Accepted(B1, "v")), _recv(2, Accepted(B1, "w")))
+        assert not validator.validate(env, ProcessId(0), 1, Decision("v"), mixed)
+
+
+class TestMisc:
+    def test_setup_values_always_pass(self, env, validator):
+        assert validator.validate(
+            env, ProcessId(0), 1, SetupValue("anything", 2), ()
+        )
+
+    def test_unknown_message_rejected(self, env, validator):
+        assert not validator.validate(env, ProcessId(0), 1, {"weird": 1}, ())
+
+    def test_permissive_accepts_anything(self, env):
+        permissive = PermissiveConformance()
+        assert permissive.validate(env, ProcessId(0), 1, {"weird": 1}, ())

@@ -1,0 +1,99 @@
+"""Permission triples and legalChange policies (paper Section 3)."""
+
+import pytest
+
+from repro.mem.permissions import (
+    Permission,
+    allow_any_change,
+    exclusive_grab_policy,
+    revoke_only_policy,
+    static_permissions,
+)
+
+
+class TestPermissionAlgebra:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError):
+            Permission(read=frozenset({1}), write=frozenset({1}))
+        with pytest.raises(ValueError):
+            Permission(read=frozenset({1}), readwrite=frozenset({1}))
+        with pytest.raises(ValueError):
+            Permission(write=frozenset({2}), readwrite=frozenset({2}))
+
+    def test_can_read(self):
+        perm = Permission(read=frozenset({0}), readwrite=frozenset({1}))
+        assert perm.can_read(0)
+        assert perm.can_read(1)
+        assert not perm.can_read(2)
+
+    def test_can_write(self):
+        perm = Permission(write=frozenset({0}), readwrite=frozenset({1}))
+        assert perm.can_write(0)
+        assert perm.can_write(1)
+        assert not perm.can_write(2)
+
+    def test_swmr_shape(self):
+        # The paper's SWMR: R = P \ {p}, W = empty, RW = {p}.
+        perm = Permission.swmr(1, range(4))
+        assert perm.readwrite == frozenset({1})
+        assert perm.write == frozenset()
+        assert perm.read == frozenset({0, 2, 3})
+        assert perm.can_write(1) and not perm.can_write(0)
+        assert all(perm.can_read(p) for p in range(4))
+
+    def test_exclusive_writer_matches_swmr_shape(self):
+        assert Permission.exclusive_writer(0, range(3)) == Permission.swmr(0, range(3))
+
+    def test_read_only(self):
+        perm = Permission.read_only(range(3))
+        assert all(perm.can_read(p) for p in range(3))
+        assert not any(perm.can_write(p) for p in range(3))
+
+    def test_open(self):
+        perm = Permission.open(range(2))
+        assert perm.can_read(0) and perm.can_write(0)
+        assert perm.can_read(1) and perm.can_write(1)
+
+    def test_empty_permission_denies_everyone(self):
+        perm = Permission()
+        assert not perm.can_read(0)
+        assert not perm.can_write(0)
+
+
+class TestPolicies:
+    def test_static_always_false(self):
+        old = Permission.open(range(2))
+        new = Permission.read_only(range(2))
+        assert static_permissions(0, old, new) is False
+
+    def test_allow_any_always_true(self):
+        old = Permission.open(range(2))
+        assert allow_any_change(0, old, old) is True
+
+    def test_revoke_only_accepts_exact_target(self):
+        target = Permission.read_only(range(3))
+        policy = revoke_only_policy(target)
+        assert policy(2, Permission.exclusive_writer(0, range(3)), target)
+        assert not policy(2, Permission.exclusive_writer(0, range(3)),
+                          Permission.open(range(3)))
+
+    def test_revoke_only_rejects_regrant(self):
+        # Nobody — not even the original leader — can re-grant after revoke.
+        target = Permission.read_only(range(3))
+        policy = revoke_only_policy(target)
+        regrant = Permission.exclusive_writer(0, range(3))
+        assert not policy(0, target, regrant)
+
+    def test_exclusive_grab_self_only(self):
+        policy = exclusive_grab_policy(range(3))
+        old = Permission.exclusive_writer(0, range(3))
+        mine = Permission.exclusive_writer(1, range(3))
+        theirs = Permission.exclusive_writer(2, range(3))
+        assert policy(1, old, mine)
+        assert not policy(1, old, theirs)  # cannot hand exclusivity to others
+
+    def test_exclusive_grab_rejects_other_shapes(self):
+        policy = exclusive_grab_policy(range(3))
+        old = Permission.exclusive_writer(0, range(3))
+        assert not policy(1, old, Permission.open(range(3)))
+        assert not policy(1, old, Permission.read_only(range(3)))

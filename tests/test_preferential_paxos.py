@@ -1,0 +1,169 @@
+"""Preferential Paxos (Algorithm 8): priority-respecting decisions."""
+
+import pytest
+
+from repro.broadcast.nonequivocating import neb_regions
+from repro.consensus.base import ConsensusProtocol
+from repro.consensus.messages import SetupValue
+from repro.consensus.preferential_paxos import (
+    PRIORITY_BARE,
+    PRIORITY_LEADER_SIGNED,
+    PRIORITY_PROOF,
+    PreferentialPaxosConfig,
+    PreferentialPaxosNode,
+    effective_priority,
+)
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.crypto.proofs import assemble_proof
+from repro.trusted.transport import TrustedTransport
+from repro.trusted.validators import PaxosConformance
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+
+class _PpProtocol(ConsensusProtocol):
+    """Preferential Paxos with per-process SetupValue inputs."""
+
+    name = "pp-test"
+
+    def __init__(self, setup_values):
+        self.setup_values = setup_values
+
+    def regions(self, n, m):
+        return neb_regions(range(n))
+
+    def tasks(self, env, value):
+        sv = self.setup_values[int(env.pid)]
+        transport = TrustedTransport(
+            env, validator=PaxosConformance(env.n_processes // 2 + 1)
+        )
+        node = PreferentialPaxosNode(env, transport, sv)
+        return [
+            ("neb", transport.neb.delivery_daemon()),
+            ("pp-pump", node.pump()),
+            ("pp-run", node.run()),
+        ]
+
+
+def _run_pp(setup_values, n=3, m=3, deadline=8000):
+    cluster = Cluster(
+        _PpProtocol(setup_values),
+        ClusterConfig(n_processes=n, n_memories=m, deadline=deadline),
+    )
+    return cluster.run([sv.value for sv in setup_values])
+
+
+class TestPriorityDecision:
+    def test_all_bare_inputs_agree(self):
+        svs = [SetupValue(f"v{p}", PRIORITY_BARE) for p in range(3)]
+        result = _run_pp(svs)
+        assert result.all_decided and result.agreed
+        assert result.decided_values <= {"v0", "v1", "v2"}
+
+    def test_leader_signed_beats_bare(self):
+        kernel = make_kernel(regions=neb_regions(range(3)))
+        leader_env = env_of(kernel, 0)
+        cert = leader_env.sign("premium")
+        svs = [
+            SetupValue("premium", PRIORITY_LEADER_SIGNED, cert),
+            SetupValue("plain-1", PRIORITY_BARE),
+            SetupValue("plain-2", PRIORITY_BARE),
+        ]
+        # Reuse the same kernel seedings (authority derives from seed=0) so
+        # the certificate verifies inside the fresh cluster.
+        result = _run_pp(svs)
+        assert result.agreed
+        assert result.decided_values == {"premium"}
+
+    def test_decision_within_top_f_plus_1_priorities(self):
+        """Lemma 4.7 exactly: with n=3, f=1, the decision is one of the top
+        f+1 = 2 priority inputs — the bare value can never win against a
+        proof and a leader signature."""
+        kernel = make_kernel(regions=neb_regions(range(3)))
+        envs = [env_of(kernel, p) for p in range(3)]
+        inner = envs[0].sign("gold")
+        copies = tuple(env.sign(inner) for env in envs)
+        proof = assemble_proof(envs[1].authority, envs[1].key, inner, copies)
+        decoy_cert = envs[0].sign("silver")
+        svs = [
+            SetupValue("silver", PRIORITY_LEADER_SIGNED, decoy_cert),
+            SetupValue("gold", PRIORITY_PROOF, proof),
+            SetupValue("plain", PRIORITY_BARE),
+        ]
+        result = _run_pp(svs)
+        assert result.agreed
+        assert result.decided_values <= {"gold", "silver"}
+        assert "plain" not in result.decided_values
+
+    def test_unanimity_proof_majority_forces_decision(self):
+        """The composition scenario (Lemma 4.8 case 1): f+1 processes carry
+        proofs for the same value — that value is the only possible
+        decision."""
+        kernel = make_kernel(regions=neb_regions(range(3)))
+        envs = [env_of(kernel, p) for p in range(3)]
+        inner = envs[0].sign("gold")
+        copies = tuple(env.sign(inner) for env in envs)
+        proof_1 = assemble_proof(envs[1].authority, envs[1].key, inner, copies)
+        proof_2 = assemble_proof(envs[2].authority, envs[2].key, inner, copies)
+        svs = [
+            SetupValue("plain", PRIORITY_BARE),
+            SetupValue("gold", PRIORITY_PROOF, proof_1),
+            SetupValue("gold", PRIORITY_PROOF, proof_2),
+        ]
+        result = _run_pp(svs)
+        assert result.agreed
+        assert result.decided_values == {"gold"}
+
+    def test_forged_priority_tag_is_demoted(self):
+        """A liar tags its value as proof-class without a certificate; every
+        receiver demotes it, so it cannot outrank honest certified values."""
+        kernel = make_kernel(regions=neb_regions(range(3)))
+        leader_env = env_of(kernel, 0)
+        cert = leader_env.sign("honest")
+        svs = [
+            SetupValue("honest", PRIORITY_LEADER_SIGNED, cert),
+            SetupValue("fake-gold", PRIORITY_PROOF, None),  # no certificate
+            SetupValue("plain", PRIORITY_BARE),
+        ]
+        result = _run_pp(svs)
+        assert result.agreed
+        assert result.decided_values == {"honest"}
+
+
+class TestEffectivePriority:
+    def test_bare_is_bare(self):
+        env = env_of(make_kernel(), 0)
+        sv = SetupValue("x", PRIORITY_BARE)
+        assert effective_priority(env, sv, ProcessId(0), 3) == PRIORITY_BARE
+
+    def test_valid_leader_cert(self):
+        env = env_of(make_kernel(), 0)
+        cert = env.sign("x")
+        sv = SetupValue("x", PRIORITY_LEADER_SIGNED, cert)
+        assert (
+            effective_priority(env, sv, ProcessId(0), 3) == PRIORITY_LEADER_SIGNED
+        )
+
+    def test_cert_for_other_value_demoted(self):
+        env = env_of(make_kernel(), 0)
+        cert = env.sign("different")
+        sv = SetupValue("x", PRIORITY_LEADER_SIGNED, cert)
+        assert effective_priority(env, sv, ProcessId(0), 3) == PRIORITY_BARE
+
+    def test_cert_from_non_leader_demoted(self):
+        kernel = make_kernel()
+        env1 = env_of(kernel, 1)
+        cert = env1.sign("x")  # signed by p2, not the leader p1
+        sv = SetupValue("x", PRIORITY_LEADER_SIGNED, cert)
+        env0 = env_of(kernel, 0)
+        assert effective_priority(env0, sv, ProcessId(0), 3) == PRIORITY_BARE
+
+    def test_valid_proof_class(self):
+        kernel = make_kernel()
+        envs = [env_of(kernel, p) for p in range(3)]
+        inner = envs[0].sign("v")
+        copies = tuple(env.sign(inner) for env in envs)
+        proof = assemble_proof(envs[0].authority, envs[0].key, inner, copies)
+        sv = SetupValue("v", PRIORITY_PROOF, proof)
+        assert effective_priority(envs[1], sv, ProcessId(0), 3) == PRIORITY_PROOF

@@ -1,0 +1,89 @@
+"""Unanimity proofs (Cheap Quorum / Preferential Paxos certificates)."""
+
+import pytest
+
+from repro.crypto.proofs import UnanimityProof, assemble_proof, verify_proof
+from repro.crypto.signatures import SignatureAuthority
+from repro.types import ProcessId
+
+N = 3
+
+
+@pytest.fixture
+def authority():
+    return SignatureAuthority(seed=3)
+
+
+def _copies(authority, value, signers=range(N)):
+    return tuple(
+        authority.sign(authority.key_for(ProcessId(p)), value) for p in signers
+    )
+
+
+class TestVerifyProof:
+    def test_valid_proof_roundtrip(self, authority):
+        value = "decided"
+        copies = _copies(authority, value)
+        signed = assemble_proof(
+            authority, authority.key_for(ProcessId(1)), value, copies
+        )
+        proof = verify_proof(authority, signed, N)
+        assert proof is not None
+        assert proof.value == value
+        assert proof.assembler == ProcessId(1)
+
+    def test_too_few_copies_rejected(self, authority):
+        copies = _copies(authority, "v", signers=range(N - 1))
+        signed = assemble_proof(authority, authority.key_for(ProcessId(0)), "v", copies)
+        assert verify_proof(authority, signed, N) is None
+
+    def test_duplicate_signers_rejected(self, authority):
+        one = authority.sign(authority.key_for(ProcessId(0)), "v")
+        signed = assemble_proof(
+            authority, authority.key_for(ProcessId(0)), "v", (one, one, one)
+        )
+        assert verify_proof(authority, signed, N) is None
+
+    def test_mixed_values_rejected(self, authority):
+        copies = list(_copies(authority, "v", signers=range(N - 1)))
+        copies.append(authority.sign(authority.key_for(ProcessId(2)), "OTHER"))
+        signed = assemble_proof(
+            authority, authority.key_for(ProcessId(0)), "v", tuple(copies)
+        )
+        assert verify_proof(authority, signed, N) is None
+
+    def test_bad_copy_signature_rejected(self, authority):
+        from repro.crypto.signatures import Signature, Signed
+
+        copies = list(_copies(authority, "v", signers=range(N - 1)))
+        copies.append(Signed("v", Signature(ProcessId(2), b"garbage")))
+        signed = assemble_proof(
+            authority, authority.key_for(ProcessId(0)), "v", tuple(copies)
+        )
+        assert verify_proof(authority, signed, N) is None
+
+    def test_bad_outer_signature_rejected(self, authority):
+        from repro.crypto.signatures import Signed
+
+        copies = _copies(authority, "v")
+        good = assemble_proof(authority, authority.key_for(ProcessId(0)), "v", copies)
+        tampered = Signed(
+            UnanimityProof("OTHER", copies, ProcessId(0)), good.signature
+        )
+        assert verify_proof(authority, tampered, N) is None
+
+    def test_non_proof_payload_rejected(self, authority):
+        signed = authority.sign(authority.key_for(ProcessId(0)), "not-a-proof")
+        assert verify_proof(authority, signed, N) is None
+        assert verify_proof(authority, None, N) is None
+
+    def test_no_two_proofs_for_different_values(self, authority):
+        """The pigeonhole behind Lemma 4.8: correct processes sign one value,
+        so with every process required, two differently-valued proofs cannot
+        both verify unless some signer signed both — here we simply confirm
+        a proof missing any one process's copy fails."""
+        copies_v = _copies(authority, "v", signers=[0, 1])
+        signed_v = assemble_proof(
+            authority, authority.key_for(ProcessId(0)), "v", copies_v
+        )
+        assert verify_proof(authority, signed_v, N) is None

@@ -1,0 +1,159 @@
+"""RDMA facade: protection domains, queue pairs, verbs (Section 7)."""
+
+import pytest
+
+from repro.errors import PermissionError_
+from repro.mem.permissions import Permission, revoke_only_policy
+from repro.mem.regions import RegionSpec
+from repro.rdma.protection_domain import ProtectionDomain
+from repro.rdma.queue_pair import QueuePair
+from repro.rdma.verbs import RdmaNic
+from repro.types import ProcessId, is_bottom
+
+from tests.conftest import env_of, make_kernel, run_single
+
+
+def _kernel():
+    regions = [
+        RegionSpec("buf", ("buf",), Permission.swmr(0, range(3))),
+        RegionSpec(
+            "shared",
+            ("shared",),
+            Permission.open(range(3)),
+        ),
+    ]
+    return make_kernel(3, 2, regions=regions)
+
+
+class TestControlPlane:
+    def test_alloc_pd_and_register(self):
+        kernel = _kernel()
+        nic = RdmaNic(env_of(kernel, 0))
+        pd = nic.alloc_pd()
+        mr = pd.register(0, "buf", ("buf",), access="read-write")
+        assert mr.rkey
+        assert pd.lookup(mr.rkey) is mr
+
+    def test_deregister_invalidates_rkey(self):
+        kernel = _kernel()
+        nic = RdmaNic(env_of(kernel, 0))
+        pd = nic.alloc_pd()
+        mr = pd.register(0, "buf", ("buf",), access="read")
+        pd.deregister(mr.rkey)
+        assert pd.lookup(mr.rkey) is None
+        with pytest.raises(PermissionError_):
+            pd.deregister(mr.rkey)
+
+    def test_bad_access_level_rejected(self):
+        pd = ProtectionDomain(ProcessId(0))
+        with pytest.raises(PermissionError_):
+            pd.register(0, "buf", ("buf",), access="execute")
+
+    def test_qp_creation_associates_peer(self):
+        kernel = _kernel()
+        nic = RdmaNic(env_of(kernel, 0))
+        pd = nic.alloc_pd()
+        qp = nic.create_qp(pd, ProcessId(1))
+        assert pd.peer_allowed(ProcessId(1))
+        assert not pd.peer_allowed(ProcessId(2))
+        assert qp.domain_id == pd.domain_id
+
+    def test_destroyed_qp_unusable(self):
+        qp = QueuePair.create(ProcessId(0), ProcessId(1), 1)
+        qp.destroy()
+        with pytest.raises(PermissionError_):
+            qp.ensure_usable()
+
+
+class TestOneSidedVerbs:
+    def _setup(self):
+        kernel = _kernel()
+        nic0 = RdmaNic(env_of(kernel, 0))
+        nic1 = RdmaNic(env_of(kernel, 1))
+        pd = nic0.alloc_pd()
+        qp = nic0.create_qp(pd, ProcessId(1))
+        return kernel, nic0, nic1, pd, qp
+
+    def test_write_then_remote_read(self):
+        kernel, nic0, nic1, pd, qp = self._setup()
+        mr = pd.register(0, "shared", ("shared",), access="read-write")
+
+        def gen():
+            result = yield from nic0.post_write(qp, mr, ("shared", "x"), 7)
+            assert result.ok
+            read = yield from nic0.post_read(qp, mr, ("shared", "x"))
+            return read.value
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == 7
+
+    def test_read_only_registration_blocks_writes(self):
+        kernel, nic0, nic1, pd, qp = self._setup()
+        mr = pd.register(0, "shared", ("shared",), access="read")
+
+        def gen():
+            yield from nic0.post_write(qp, mr, ("shared", "x"), 1)
+
+        with pytest.raises(PermissionError_):
+            list(gen())  # the NIC validates locally, before any effect
+
+    def test_stale_rkey_rejected_locally(self):
+        kernel, nic0, nic1, pd, qp = self._setup()
+        mr = pd.register(0, "shared", ("shared",), access="read")
+        pd.deregister(mr.rkey)
+
+        def gen():
+            yield from nic0.post_read(qp, pd.lookup(mr.rkey), ("shared", "x"))
+
+        with pytest.raises(PermissionError_):
+            list(gen())  # the check is synchronous, before any effect
+
+    def test_memory_side_permission_still_decides(self):
+        """A write-capable registration cannot override the memory-side
+        permission triple: the op comes back nak, like real RDMA completing
+        with a protection error."""
+        kernel, nic0, nic1, pd, qp = self._setup()
+        nic1_pd = nic1.alloc_pd()
+        qp1 = nic1.create_qp(nic1_pd, ProcessId(0))
+        mr = nic1_pd.register(0, "buf", ("buf",), access="read-write")
+
+        def gen():
+            # p2 writing p1's SWMR buffer: locally allowed, remotely nak'd.
+            result = yield from nic1.post_write(qp1, mr, ("buf", "x"), 13)
+            return result.ok
+
+        task = run_single(kernel, 1, gen())
+        assert task.result is False
+
+    def test_array_read(self):
+        kernel, nic0, nic1, pd, qp = self._setup()
+        mr = pd.register(0, "shared", ("shared",), access="read-write")
+
+        def gen():
+            yield from nic0.post_write(qp, mr, ("shared", "a"), 1)
+            yield from nic0.post_write(qp, mr, ("shared", "b"), 2)
+            snap = yield from nic0.post_read_array(qp, mr)
+            return snap.value
+
+        task = run_single(kernel, 0, gen())
+        assert task.result == {("shared", "a"): 1, ("shared", "b"): 2}
+
+
+class TestTwoSidedVerbs:
+    def test_send_recv(self):
+        kernel = _kernel()
+        nic0 = RdmaNic(env_of(kernel, 0))
+        nic1 = RdmaNic(env_of(kernel, 1))
+        pd = nic0.alloc_pd()
+        qp = nic0.create_qp(pd, ProcessId(1))
+
+        def sender():
+            yield from nic0.post_send(qp, {"rpc": "hello"})
+
+        def receiver():
+            envelope = yield from nic1.poll_recv(timeout=50)
+            return envelope.payload
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == {"rpc": "hello"}

@@ -1,0 +1,40 @@
+"""The canned scenario builders."""
+
+import pytest
+
+from repro import FastRobust, ProtectedMemoryPaxos, SilentByzantine
+from repro.core import scenarios
+
+
+class TestScenarioBuilders:
+    def test_common_case(self):
+        cluster = scenarios.common_case(ProtectedMemoryPaxos())
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.earliest_decision_delay == 2.0
+
+    def test_leader_crash(self):
+        cluster = scenarios.leader_crash(ProtectedMemoryPaxos())
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed
+
+    def test_memory_minority_crash(self):
+        cluster = scenarios.memory_minority_crash(ProtectedMemoryPaxos(), n_memories=5)
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided
+        assert result.earliest_decision_delay == 2.0
+
+    def test_byzantine_seat(self):
+        cluster = scenarios.byzantine_seat(SilentByzantine(), seat=2)
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed
+
+    def test_mixed_agent_crashes(self):
+        cluster = scenarios.mixed_agent_crashes([1], [0])
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed
+
+    def test_asynchronous_period(self):
+        cluster = scenarios.asynchronous_period(ProtectedMemoryPaxos(), seed=3)
+        result = cluster.run(["a", "b", "c"])
+        assert result.agreed and result.valid
+        assert result.all_decided

@@ -1,0 +1,138 @@
+"""Signatures: unforgeability, canonical encoding, verification."""
+
+import enum
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.signatures import (
+    SignatureAuthority,
+    Signed,
+    canonical_bytes,
+)
+from repro.errors import SignatureError
+from repro.types import BOTTOM, ProcessId
+
+
+@pytest.fixture
+def authority():
+    return SignatureAuthority(seed=1)
+
+
+class TestSigning:
+    def test_sign_and_verify(self, authority):
+        key = authority.key_for(ProcessId(0))
+        signed = authority.sign(key, ("hello", 1))
+        assert authority.verify(ProcessId(0), signed)
+        assert authority.valid(signed)
+
+    def test_wrong_signer_rejected(self, authority):
+        key = authority.key_for(ProcessId(0))
+        signed = authority.sign(key, "payload")
+        assert not authority.verify(ProcessId(1), signed)
+
+    def test_tampered_payload_rejected(self, authority):
+        key = authority.key_for(ProcessId(0))
+        signed = authority.sign(key, "original")
+        forged = Signed("tampered", signed.signature)
+        assert not authority.verify(ProcessId(0), forged)
+
+    def test_cross_signer_tag_reuse_rejected(self, authority):
+        # p1's tag on a payload does not validate as p2's signature.
+        key0 = authority.key_for(ProcessId(0))
+        signed = authority.sign(key0, "payload")
+        from repro.crypto.signatures import Signature
+
+        forged = Signed("payload", Signature(ProcessId(1), signed.signature.tag))
+        assert not authority.verify(ProcessId(1), forged)
+
+    def test_non_signed_objects_rejected(self, authority):
+        assert not authority.verify(ProcessId(0), "not-signed")
+        assert not authority.verify(ProcessId(0), None)
+        assert not authority.valid(42)
+
+    def test_key_is_stable(self, authority):
+        assert authority.key_for(ProcessId(0)) is authority.key_for(ProcessId(0))
+
+    def test_foreign_authority_key_rejected(self, authority):
+        other = SignatureAuthority(seed=2)
+        foreign_key = other.key_for(ProcessId(0))
+        with pytest.raises(SignatureError):
+            authority.sign(foreign_key, "x")
+
+    def test_different_seeds_different_tags(self):
+        a = SignatureAuthority(seed=1)
+        b = SignatureAuthority(seed=2)
+        sa = a.sign(a.key_for(ProcessId(0)), "x")
+        sb = b.sign(b.key_for(ProcessId(0)), "x")
+        assert sa.signature.tag != sb.signature.tag
+
+    def test_sign_count(self, authority):
+        key = authority.key_for(ProcessId(0))
+        authority.sign(key, 1)
+        authority.sign(key, 2)
+        assert authority.sign_count == 2
+
+    def test_nested_signed_payloads(self, authority):
+        # Cheap Quorum signs signed values (copies of the leader's value).
+        leader = authority.key_for(ProcessId(0))
+        follower = authority.key_for(ProcessId(1))
+        inner = authority.sign(leader, "decision")
+        outer = authority.sign(follower, inner)
+        assert authority.verify(ProcessId(1), outer)
+        assert authority.verify(ProcessId(0), outer.payload)
+
+
+class _Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+class TestCanonicalBytes:
+    def test_primitives(self):
+        for value in (None, True, False, 0, -5, 3.5, "s", b"b", BOTTOM):
+            assert canonical_bytes(value) == canonical_bytes(value)
+
+    def test_bool_int_distinct(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(False) != canonical_bytes(0)
+
+    def test_dict_order_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_set_order_irrelevant(self):
+        assert canonical_bytes({3, 1, 2}) == canonical_bytes({1, 2, 3})
+
+    def test_tuple_vs_nested_distinct(self):
+        assert canonical_bytes((1, 2, 3)) != canonical_bytes((1, (2, 3)))
+
+    def test_string_length_framing(self):
+        # "ab" + "c" must not collide with "a" + "bc".
+        assert canonical_bytes(("ab", "c")) != canonical_bytes(("a", "bc"))
+
+    def test_enum_support(self):
+        assert canonical_bytes(_Color.RED) != canonical_bytes(_Color.BLUE)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    @given(
+        st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers()
+            | st.text(max_size=20)
+            | st.binary(max_size=20),
+            lambda children: st.lists(children, max_size=4).map(tuple)
+            | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    def test_deterministic_for_arbitrary_values(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+    @given(st.integers(), st.integers())
+    def test_distinct_ints_distinct_encodings(self, a, b):
+        if a != b:
+            assert canonical_bytes(a) != canonical_bytes(b)

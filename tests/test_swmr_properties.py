@@ -1,0 +1,95 @@
+"""Property-based tests for the replicated-register layer."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.registers.swmr import ReplicatedRegister, _merge_reads, swmr_regions
+from repro.types import BOTTOM, MemoryId, is_bottom
+
+from tests.conftest import env_of, make_kernel
+
+_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestMergeRule:
+    """The paper's read rule: exactly one distinct non-⊥ value, else ⊥."""
+
+    @given(st.lists(st.integers(0, 3) | st.none(), max_size=8))
+    def test_merge_never_invents_values(self, raw):
+        values = [BOTTOM if v is None else v for v in raw]
+        merged = _merge_reads(values)
+        if not is_bottom(merged):
+            assert merged in values
+
+    @given(st.integers(), st.integers(1, 8))
+    def test_unanimous_value_wins(self, value, copies):
+        assert _merge_reads([value] * copies) == value
+
+    @given(st.integers(1, 8))
+    def test_all_bottom_is_bottom(self, copies):
+        assert is_bottom(_merge_reads([BOTTOM] * copies))
+
+    @given(st.integers(), st.integers())
+    def test_two_distinct_values_merge_to_bottom(self, a, b):
+        if a != b:
+            assert is_bottom(_merge_reads([a, b]))
+
+    @given(st.integers(), st.integers(1, 4), st.integers(0, 4))
+    def test_bottoms_do_not_mask_a_unique_value(self, value, copies, bottoms):
+        values = [value] * copies + [BOTTOM] * bottoms
+        assert _merge_reads(values) == value
+
+    def test_merge_handles_unhashable_values(self):
+        # Register values are arbitrary Python objects, including dicts.
+        assert _merge_reads([{"a": 1}, {"a": 1}]) == {"a": 1}
+        assert is_bottom(_merge_reads([{"a": 1}, {"a": 2}]))
+
+
+class TestWriteReadProperties:
+    @_SETTINGS
+    @given(
+        writes=st.lists(st.integers(0, 100), min_size=1, max_size=6),
+        crash=st.integers(0, 2),
+    )
+    def test_read_returns_last_write_despite_one_crash(self, writes, crash):
+        kernel = make_kernel(1, 3, regions=swmr_regions("s", [0], [0]))
+        kernel.crash_memory(MemoryId(crash))
+        env = env_of(kernel, 0)
+        register = ReplicatedRegister("s:0", ("s", 0, "k"))
+
+        def gen():
+            for value in writes:
+                yield from register.write(env, value)
+            result = yield from register.read(env)
+            return result
+
+        task = kernel.spawn(0, "rw", gen())
+        kernel.run(until=10_000)
+        assert task.result == writes[-1]
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 1000))
+    def test_sequential_writers_reader_sees_final(self, seed):
+        from repro.sim.latency import JitteredSynchrony
+
+        kernel = make_kernel(
+            2, 3, regions=swmr_regions("s", [0], [0, 1]),
+            latency=JitteredSynchrony(0.3), seed=seed,
+        )
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+        register = ReplicatedRegister("s:0", ("s", 0, "k"))
+
+        def writer():
+            for i in range(3):
+                yield from register.write(env0, i)
+
+        def reader():
+            yield env1.sleep(50.0)  # strictly after all writes
+            result = yield from register.read(env1)
+            return result
+
+        kernel.spawn(0, "w", writer())
+        task = kernel.spawn(1, "r", reader())
+        kernel.run(until=10_000)
+        assert task.result == 2

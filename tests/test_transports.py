@@ -1,0 +1,136 @@
+"""The transport abstraction: Direct vs Trusted adapters behind one API."""
+
+import pytest
+
+from repro.broadcast.nonequivocating import neb_regions
+from repro.consensus.base import (
+    DirectTransport,
+    ProposerOutcome,
+    Transport,
+    TrustedAdapter,
+    wait_until,
+)
+from repro.trusted.transport import TrustedTransport
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+
+class TestDirectTransport:
+    def test_send_recv(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+        t0 = DirectTransport(env0, topic="x")
+        t1 = DirectTransport(env1, topic="x")
+
+        def sender():
+            yield from t0.send(ProcessId(1), {"n": 1})
+
+        def receiver():
+            got = yield from t1.recv(timeout=50)
+            return got
+
+        kernel.spawn(0, "s", sender())
+        task = kernel.spawn(1, "r", receiver())
+        kernel.run(until=100)
+        assert task.result == (ProcessId(0), {"n": 1})
+
+    def test_broadcast_includes_self(self, kernel):
+        env = env_of(kernel, 0)
+        transport = DirectTransport(env, topic="y")
+
+        def roundtrip():
+            yield from transport.broadcast("to-everyone")
+            got = yield from transport.recv(timeout=50)
+            return got
+
+        task = kernel.spawn(0, "rt", roundtrip())
+        kernel.run(until=100)
+        assert task.result == (ProcessId(0), "to-everyone")
+
+    def test_topic_isolation_between_transports(self, kernel):
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+        ta = DirectTransport(env0, topic="a")
+        tb = DirectTransport(env1, topic="b")
+
+        def sender():
+            yield from ta.send(ProcessId(1), "for-topic-a")
+
+        def receiver():
+            got = yield from tb.recv(timeout=10)
+            return got
+
+        kernel.spawn(0, "s", sender())
+        task = kernel.spawn(1, "r", receiver())
+        kernel.run(until=100)
+        assert task.result is None
+
+
+class TestTrustedAdapter:
+    def test_same_api_over_trusted_layer(self):
+        kernel = make_kernel(3, 3, regions=neb_regions(range(3)))
+        adapters = []
+        for p in range(3):
+            env = env_of(kernel, p)
+            trusted = TrustedTransport(env)
+            kernel.spawn(p, "neb", trusted.neb.delivery_daemon())
+            adapters.append(TrustedAdapter(trusted))
+
+        def sender():
+            yield from adapters[0].broadcast("via-registers")
+
+        def receiver():
+            got = yield from adapters[1].recv(timeout=500)
+            return got
+
+        kernel.spawn(0, "s", sender())
+        task = kernel.spawn(1, "r", receiver())
+        kernel.run(until=1000)
+        assert task.result == (ProcessId(0), "via-registers")
+
+    def test_recv_timeout(self):
+        kernel = make_kernel(3, 3, regions=neb_regions(range(3)))
+        env = env_of(kernel, 0)
+        trusted = TrustedTransport(env)
+        adapter = TrustedAdapter(trusted)
+
+        def receiver():
+            got = yield from adapter.recv(timeout=5)
+            return got
+
+        task = kernel.spawn(0, "r", receiver())
+        kernel.run(until=100)
+        assert task.result is None
+
+
+class TestBaseHelpers:
+    def test_transport_is_abstract(self):
+        with pytest.raises(TypeError):
+            Transport()
+
+    def test_proposer_outcome_shape(self):
+        outcome = ProposerOutcome(decided=True, value=7)
+        assert outcome.decided and outcome.value == 7
+
+    def test_wait_until_immediate(self, kernel):
+        env = env_of(kernel, 0)
+        gate = env.new_gate("g")
+
+        def gen():
+            ok = yield from wait_until(env, gate, lambda: True, timeout=10)
+            return (ok, env.now)
+
+        task = kernel.spawn(0, "w", gen())
+        kernel.run(until=100)
+        assert task.result == (True, 0.0)
+
+    def test_wait_until_timeout(self, kernel):
+        env = env_of(kernel, 0)
+        gate = env.new_gate("never")
+
+        def gen():
+            ok = yield from wait_until(env, gate, lambda: False, timeout=7.0)
+            return (ok, env.now)
+
+        task = kernel.spawn(0, "w", gen())
+        kernel.run(until=100)
+        assert task.result == (False, 7.0)

@@ -1,0 +1,78 @@
+"""Property-based tests for the trusted transport under random schedules."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.broadcast.nonequivocating import neb_regions
+from repro.sim.latency import JitteredSynchrony
+from repro.trusted.transport import TrustedTransport
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+_SETTINGS = settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _session(seed, jitter, plan):
+    """*plan*: list of (sender, message) broadcasts, issued concurrently."""
+    kernel = make_kernel(
+        3, 3, regions=neb_regions(range(3)),
+        latency=JitteredSynchrony(jitter), seed=seed,
+    )
+    transports = []
+    for p in range(3):
+        env = env_of(kernel, p)
+        transport = TrustedTransport(env)
+        kernel.spawn(p, "neb", transport.neb.delivery_daemon())
+        transports.append(transport)
+    for sender, message in plan:
+        def job(t=transports[sender], m=message):
+            yield from t.t_broadcast(m)
+        kernel.spawn(sender, f"send-{message}", job())
+    kernel.run(until=4000)
+    return transports
+
+
+@st.composite
+def _plans(draw):
+    n_messages = draw(st.integers(1, 5))
+    return [
+        (draw(st.integers(0, 2)), f"m{i}")
+        for i in range(n_messages)
+    ]
+
+
+class TestTrustedDeliveryProperties:
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), jitter=st.floats(0.0, 0.7), plan=_plans())
+    def test_every_broadcast_reaches_every_process(self, seed, jitter, plan):
+        transports = _session(seed, jitter, plan)
+        expected = {m for _s, m in plan}
+        for transport in transports:
+            got = {d.message for d in transport.delivered_log}
+            assert expected <= got
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), plan=_plans())
+    def test_no_sender_is_dropped_without_cause(self, seed, plan):
+        transports = _session(seed, 0.5, plan)
+        for transport in transports:
+            assert transport.dropped == set()
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), plan=_plans())
+    def test_per_sender_fifo(self, seed, plan):
+        transports = _session(seed, 0.4, plan)
+        order = {m: i for i, (_s, m) in enumerate(plan)}
+        for transport in transports:
+            for sender in range(3):
+                sent_by_sender = [
+                    m for s, m in plan if s == sender
+                ]
+                seen = [
+                    d.message
+                    for d in transport.delivered_log
+                    if d.sender == ProcessId(sender)
+                ]
+                assert seen == sent_by_sender

@@ -1,0 +1,186 @@
+"""Trusted transport: T-send/T-receive, history checks, sender dropping."""
+
+from repro.broadcast.nonequivocating import neb_regions
+from repro.trusted.history import RecvEvent, SentEvent, TO_ALL, sent_count
+from repro.trusted.transport import TMessage, TrustedTransport
+from repro.types import ProcessId
+
+from tests.conftest import env_of, make_kernel
+
+
+def _kernel(n=3, m=3, **kw):
+    return make_kernel(n, m, regions=neb_regions(range(n)), **kw)
+
+
+def _wire(kernel, n, validator=None):
+    transports = []
+    for p in range(n):
+        env = env_of(kernel, p)
+        transport = TrustedTransport(env, validator=validator)
+        kernel.spawn(p, "neb", transport.neb.delivery_daemon())
+        transports.append(transport)
+    return transports
+
+
+class TestDelivery:
+    def test_t_send_point_to_point(self):
+        kernel = _kernel()
+        transports = _wire(kernel, 3)
+
+        def sender():
+            yield from transports[0].t_send(ProcessId(1), "for-p2-only")
+
+        def receiver():
+            delivered = yield from transports[1].t_recv(timeout=200)
+            return delivered
+
+        kernel.spawn(0, "send", sender())
+        task = kernel.spawn(1, "recv", receiver())
+        kernel.run(until=400)
+        assert task.result.sender == ProcessId(0)
+        assert task.result.message == "for-p2-only"
+        # Non-addressee tracked it for citations but did not consume it.
+        assert all(d.message != "for-p2-only" for d in transports[2].delivered_log)
+        assert (ProcessId(0), 1) in transports[2].seen
+
+    def test_t_broadcast_reaches_everyone(self):
+        kernel = _kernel()
+        transports = _wire(kernel, 3)
+
+        def sender():
+            yield from transports[0].t_broadcast("to-all")
+
+        kernel.spawn(0, "send", sender())
+        kernel.run(until=400)
+        for transport in transports:
+            assert any(d.message == "to-all" for d in transport.delivered_log)
+
+    def test_t_recv_timeout(self):
+        kernel = _kernel()
+        transports = _wire(kernel, 3)
+
+        def receiver():
+            delivered = yield from transports[0].t_recv(timeout=10.0)
+            return delivered
+
+        task = kernel.spawn(0, "recv", receiver())
+        kernel.run(until=100)
+        assert task.result is None
+
+    def test_histories_grow_with_traffic(self):
+        kernel = _kernel()
+        transports = _wire(kernel, 3)
+
+        def sender():
+            yield from transports[0].t_broadcast("one")
+            yield from transports[0].t_broadcast("two")
+
+        kernel.spawn(0, "send", sender())
+        kernel.run(until=400)
+        sends = [e for e in transports[0].history if isinstance(e, SentEvent)]
+        assert [e.k for e in sends] == [1, 2]
+        recvs = [e for e in transports[1].history if isinstance(e, RecvEvent)]
+        assert [e.message for e in recvs] == ["one", "two"]
+
+
+class TestStructuralChecks:
+    def test_sent_count_helper(self):
+        history = (
+            SentEvent(1, TO_ALL, "a"),
+            RecvEvent(ProcessId(1), 1, TO_ALL, "x"),
+            SentEvent(2, TO_ALL, "b"),
+        )
+        assert sent_count(history) == 2
+
+    def test_gap_in_sent_sequence_rejected(self):
+        assert not TrustedTransport._structurally_sound(
+            3,
+            (SentEvent(1, TO_ALL, "a"),),  # claims k=3 but only one send
+        )
+
+    def test_non_contiguous_ks_rejected(self):
+        assert not TrustedTransport._structurally_sound(
+            3,
+            (SentEvent(1, TO_ALL, "a"), SentEvent(3, TO_ALL, "b")),
+        )
+
+    def test_alien_event_rejected(self):
+        assert not TrustedTransport._structurally_sound(2, ("garbage",))
+
+    def test_valid_history_accepted(self):
+        assert TrustedTransport._structurally_sound(
+            3,
+            (
+                SentEvent(1, TO_ALL, "a"),
+                RecvEvent(ProcessId(2), 1, TO_ALL, "x"),
+                SentEvent(2, TO_ALL, "b"),
+            ),
+        )
+
+
+class TestCitationChecks:
+    def test_citing_a_never_broadcast_message_drops_sender(self):
+        """A Byzantine sender claims to have received something its victim
+        never broadcast; every honest validator holds the victim's true
+        stream and must drop the liar."""
+        kernel = _kernel()
+        kernel.mark_byzantine(ProcessId(0))
+        transports = _wire(kernel, 3)
+        env0 = env_of(kernel, 0)
+
+        def honest_victim():
+            yield from transports[1].t_broadcast("truth")
+
+        def liar():
+            # Wait until the victim's message circulated, then cite a lie.
+            yield env0.sleep(20.0)
+            fake_history = (RecvEvent(ProcessId(1), 1, TO_ALL, "LIE"),)
+            payload = TMessage(message="attack", history=fake_history, dst=TO_ALL)
+            yield from transports[0].neb.broadcast(payload)
+
+        kernel.spawn(1, "victim", honest_victim())
+        kernel.spawn(0, "liar", liar())
+        kernel.run(until=400)
+        assert ProcessId(0) in transports[2].dropped
+        assert all(d.message != "attack" for d in transports[2].delivered_log)
+
+    def test_citing_future_message_defers_then_validates(self):
+        """An honest fast receiver may cite a message a slow peer has not
+        delivered yet; the peer must defer, not convict."""
+        kernel = _kernel()
+        transports = _wire(kernel, 3)
+
+        def p0():
+            yield from transports[0].t_broadcast("first")
+
+        def p1():
+            delivered = yield from transports[1].t_recv(timeout=300)
+            assert delivered.message == "first"
+            yield from transports[1].t_broadcast("second-citing-first")
+
+        kernel.spawn(0, "p0", p0())
+        kernel.spawn(1, "p1", p1())
+        kernel.run(until=600)
+        messages = [d.message for d in transports[2].delivered_log]
+        assert "first" in messages and "second-citing-first" in messages
+        assert ProcessId(1) not in transports[2].dropped
+
+    def test_citing_message_addressed_to_somebody_else_rejected(self):
+        kernel = _kernel()
+        kernel.mark_byzantine(ProcessId(2))
+        transports = _wire(kernel, 3)
+        env2 = env_of(kernel, 2)
+
+        def p0():
+            yield from transports[0].t_send(ProcessId(1), "private")
+
+        def snoop():
+            yield env2.sleep(30.0)  # let the private message circulate
+            stolen = (RecvEvent(ProcessId(0), 1, ProcessId(1), "private"),)
+            payload = TMessage(message="i-read-your-mail", history=stolen, dst=TO_ALL)
+            yield from transports[2].neb.broadcast(payload)
+
+        kernel.spawn(0, "p0", p0())
+        kernel.spawn(2, "snoop", snoop())
+        kernel.run(until=400)
+        assert ProcessId(2) in transports[1].dropped

@@ -1,0 +1,79 @@
+"""Unit tests for core value types."""
+
+import pickle
+
+from repro.types import (
+    BOTTOM,
+    OpResult,
+    OpStatus,
+    _BottomType,
+    is_bottom,
+    memory_name,
+    process_name,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert _BottomType() is BOTTOM
+
+    def test_is_bottom(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(None)
+        assert not is_bottom(0)
+        assert not is_bottom("")
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_distinct_from_none(self):
+        # Protocol payloads may carry None; ⊥ must not collide with it.
+        assert BOTTOM is not None
+        assert not is_bottom(None)
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+
+class TestOpStatus:
+    def test_ack_truthy(self):
+        assert OpStatus.ACK
+        assert bool(OpStatus.ACK) is True
+
+    def test_nak_falsy(self):
+        assert not OpStatus.NAK
+
+    def test_values(self):
+        assert OpStatus.ACK.value == "ack"
+        assert OpStatus.NAK.value == "nak"
+
+
+class TestOpResult:
+    def test_ok_property(self):
+        assert OpResult(OpStatus.ACK).ok
+        assert not OpResult(OpStatus.NAK).ok
+
+    def test_carries_value(self):
+        result = OpResult(OpStatus.ACK, value=42)
+        assert result.value == 42
+
+    def test_frozen(self):
+        result = OpResult(OpStatus.ACK)
+        try:
+            result.value = 1
+            assert False, "OpResult should be frozen"
+        except AttributeError:
+            pass
+
+
+class TestNames:
+    def test_process_name_is_one_based(self):
+        assert process_name(0) == "p1"
+        assert process_name(4) == "p5"
+
+    def test_memory_name_is_one_based(self):
+        assert memory_name(0) == "mu1"
+        assert memory_name(2) == "mu3"
