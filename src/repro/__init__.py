@@ -34,7 +34,13 @@ from repro.consensus.paxos import PaxosConfig
 from repro.consensus.preferential_paxos import PreferentialPaxosConfig
 from repro.consensus.protected_memory_paxos import PmpConfig, ProtectedMemoryPaxos
 from repro.consensus.robust_backup import RobustBackup
-from repro.core.cluster import Cluster, ClusterConfig, RunResult, run_consensus
+from repro.core.cluster import (
+    Cluster,
+    ClusterConfig,
+    MultiGroupCluster,
+    RunResult,
+    run_consensus,
+)
 from repro.failures.byzantine import (
     ByzantineStrategy,
     CheapQuorumEquivocatorLeader,
@@ -46,11 +52,34 @@ from repro.failures.byzantine import (
     SlotRewriter,
 )
 from repro.failures.plans import FaultPlan
+from repro.shard import (
+    ClosedLoopClient,
+    ConsistentHashPartitioner,
+    OpenLoopClient,
+    OperationMix,
+    ScriptedClient,
+    ShardConfig,
+    ShardedKV,
+    UniformKeys,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    ZipfianKeys,
+)
 from repro.sim.latency import (
     AdversarialLatency,
     JitteredSynchrony,
     NominalLatency,
     PartialSynchrony,
+)
+from repro.smr import (
+    Batch,
+    ByzantineLogConfig,
+    ByzantineReplicatedLog,
+    KVCommand,
+    KVStateMachine,
+    ReplicatedLog,
+    SmrConfig,
 )
 from repro.types import BOTTOM, OpStatus
 
@@ -62,12 +91,17 @@ __all__ = [
     "AlignedPaxos",
     "BOTTOM",
     "Ballot",
+    "Batch",
+    "ByzantineLogConfig",
+    "ByzantineReplicatedLog",
     "ByzantineStrategy",
     "CheapQuorum",
     "CheapQuorumConfig",
     "CheapQuorumEquivocatorLeader",
+    "ClosedLoopClient",
     "Cluster",
     "ClusterConfig",
+    "ConsistentHashPartitioner",
     "CqOutcome",
     "DiskPaxos",
     "DiskPaxosConfig",
@@ -78,9 +112,14 @@ __all__ = [
     "FastRobustConfig",
     "FaultPlan",
     "JitteredSynchrony",
+    "KVCommand",
+    "KVStateMachine",
     "MessagePaxos",
+    "MultiGroupCluster",
     "NominalLatency",
     "OpStatus",
+    "OpenLoopClient",
+    "OperationMix",
     "PaxosConfig",
     "PaxosValueLiar",
     "PartialSynchrony",
@@ -89,10 +128,20 @@ __all__ = [
     "PmpConfig",
     "PreferentialPaxosConfig",
     "ProtectedMemoryPaxos",
+    "ReplicatedLog",
     "RobustBackup",
     "RunResult",
+    "ScriptedClient",
+    "ShardConfig",
+    "ShardedKV",
     "SilentByzantine",
     "SlotRewriter",
+    "SmrConfig",
+    "UniformKeys",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "ZipfianKeys",
     "crash_aware_omega",
     "leader_schedule",
     "run_consensus",

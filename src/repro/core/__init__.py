@@ -1,5 +1,17 @@
 """Public API: configure a cluster, run a consensus instance, inspect results."""
 
-from repro.core.cluster import Cluster, ClusterConfig, RunResult, run_consensus
+from repro.core.cluster import (
+    Cluster,
+    ClusterConfig,
+    MultiGroupCluster,
+    RunResult,
+    run_consensus,
+)
 
-__all__ = ["Cluster", "ClusterConfig", "RunResult", "run_consensus"]
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "MultiGroupCluster",
+    "RunResult",
+    "run_consensus",
+]

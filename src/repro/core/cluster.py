@@ -17,15 +17,16 @@ delay counts and counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set
 
 from repro.consensus.base import ConsensusProtocol
 from repro.errors import ConfigurationError
 from repro.failures.plans import FaultPlan
 from repro.mem.layout import MemoryLayout
+from repro.mem.regions import RegionSpec
 from repro.metrics.ledger import MetricsLedger
 from repro.sim.environment import ProcessEnv
-from repro.sim.kernel import Kernel, SimConfig
+from repro.sim.kernel import Kernel, SimConfig, Task
 from repro.sim.latency import LatencyModel, NominalLatency
 from repro.types import ProcessId
 
@@ -180,6 +181,64 @@ class Cluster:
             all_decided=done,
             final_time=self.kernel.now,
         )
+
+
+class MultiGroupCluster:
+    """One kernel hosting several independent protocol groups.
+
+    The single-protocol :class:`Cluster` derives its memory layout from one
+    protocol's regions; a sharded service instead lays out the union of
+    every group's regions (each namespaced, so groups never interfere) and
+    spawns whatever task mix it needs per process.  This helper owns that
+    assembly: kernel construction, per-process environments, task spawning
+    and a goal-driven run loop.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        regions: Sequence[RegionSpec],
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.config = config
+        self.faults = faults or FaultPlan()
+        self.faults.validate(config.n_processes, config.n_memories)
+        sim_config = SimConfig(
+            n_processes=config.n_processes,
+            n_memories=config.n_memories,
+            latency=config.latency,
+            seed=config.seed,
+            trace=config.trace,
+            strict_safety=config.strict_safety,
+            omega=config.omega,
+        )
+        self.kernel = Kernel(sim_config, MemoryLayout(list(regions)))
+        self.envs: Dict[int, ProcessEnv] = {}
+        self._started = False
+
+    def env_for(self, pid: int) -> ProcessEnv:
+        if pid not in self.envs:
+            self.envs[pid] = ProcessEnv(self.kernel, ProcessId(pid))
+        return self.envs[pid]
+
+    def spawn(self, pid: int, name: str, gen: Generator, daemon: bool = True) -> Task:
+        """Register one task of process *pid*; returns the kernel task."""
+        return self.kernel.spawn(ProcessId(pid), name, gen, daemon=daemon)
+
+    def run_until(
+        self,
+        goal: Callable[[], bool],
+        deadline: Optional[float] = None,
+    ) -> bool:
+        """Install faults, run until *goal* (or deadline); True on success."""
+        if not self._started:
+            self.faults.install(self.kernel)
+            self._started = True
+        self.kernel.run(
+            until=self.config.deadline if deadline is None else deadline,
+            stop_when=goal,
+        )
+        return goal()
 
 
 def run_consensus(

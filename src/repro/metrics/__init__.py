@@ -1,6 +1,21 @@
-"""Measurement: decision delays, signature counts, safety-violation capture."""
+"""Measurement: decision delays, signature counts, safety-violation capture,
+and per-shard workload aggregation for the sharded service layer."""
 
 from repro.metrics.ledger import DecisionRecord, MetricsLedger
 from repro.metrics.reporting import format_table
+from repro.metrics.workload import (
+    LatencySummary,
+    ShardStats,
+    WorkloadReport,
+    percentile,
+)
 
-__all__ = ["DecisionRecord", "MetricsLedger", "format_table"]
+__all__ = [
+    "DecisionRecord",
+    "LatencySummary",
+    "MetricsLedger",
+    "ShardStats",
+    "WorkloadReport",
+    "format_table",
+    "percentile",
+]

@@ -1,0 +1,44 @@
+"""Sharded SMR service layer: multi-group replicated KV at scale.
+
+The scaling subsystem above the paper's protocols: partition the
+keyspace across N independent consensus groups (consistent hashing),
+route client commands to each group's pinned leader, amortise per-slot
+cost by committing :class:`~repro.smr.log.Batch` entries, and drive it
+all with a YCSB-style workload engine (open/closed loops, uniform and
+Zipfian key popularity).
+"""
+
+from repro.shard.partitioner import ConsistentHashPartitioner
+from repro.shard.router import ShardFrontend, request_topic
+from repro.shard.service import ShardConfig, ShardedKV, shard_region
+from repro.shard.workload import (
+    ClosedLoopClient,
+    KeyDistribution,
+    OpenLoopClient,
+    OperationMix,
+    ScriptedClient,
+    UniformKeys,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    ZipfianKeys,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "ConsistentHashPartitioner",
+    "KeyDistribution",
+    "OpenLoopClient",
+    "OperationMix",
+    "ScriptedClient",
+    "ShardConfig",
+    "ShardFrontend",
+    "ShardedKV",
+    "UniformKeys",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "ZipfianKeys",
+    "request_topic",
+    "shard_region",
+]

@@ -1,0 +1,65 @@
+"""Consistent-hash key partitioning across consensus groups.
+
+Keys map to shards via a hash ring with virtual nodes: each shard owns
+many points on a 160-bit circle, and a key belongs to the first shard
+point at or after the key's own hash.  Two properties matter here:
+
+* **determinism** — the ring is built from SHA-1, never Python's salted
+  ``hash``, so every process (and every run with the same config) routes
+  a key identically; replicas of different processes must agree on
+  ownership without communicating.
+* **stability** — adding a shard moves only ~1/n of the keyspace, the
+  classic consistent-hashing win that later re-sharding work relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+
+def _point(label: str) -> int:
+    """A deterministic position on the 160-bit hash circle."""
+    return int.from_bytes(hashlib.sha1(label.encode("utf-8")).digest(), "big")
+
+
+class ConsistentHashPartitioner:
+    """Maps string keys to shard ids ``0..n_shards-1`` via a hash ring."""
+
+    def __init__(self, n_shards: int, vnodes: int = 64, salt: str = "") -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        self.salt = salt
+        ring: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(vnodes):
+                ring.append((_point(f"{salt}shard-{shard}#{replica}"), shard))
+        ring.sort()
+        self._points = [point for point, _shard in ring]
+        self._owners = [shard for _point, shard in ring]
+        #: key -> shard memo; workload keyspaces are bounded and hot keys
+        #: repeat (Zipfian), so the per-request SHA-1 is paid once per key
+        self._cache: Dict[str, int] = {}
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning *key*: first ring point at or after its hash."""
+        shard = self._cache.get(key)
+        if shard is None:
+            index = bisect.bisect_left(self._points, _point(key))
+            if index == len(self._points):
+                index = 0  # wrap around the circle
+            shard = self._cache[key] = self._owners[index]
+        return shard
+
+    def distribution(self, keys: Iterable[str]) -> Counter:
+        """How many of *keys* each shard owns (diagnostics and tests)."""
+        counts: Counter = Counter({shard: 0 for shard in range(self.n_shards)})
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

@@ -1,0 +1,107 @@
+"""The client-facing frontend: route commands to shard leaders, match replies.
+
+Each process hosts one :class:`ShardFrontend`.  A client submits a
+``KVCommand`` carrying a ``(client, request_id)`` identity; the frontend
+hashes the key to its owning shard, hands the command to that shard's
+leader (a direct enqueue when the leader is local, a request message
+otherwise), and parks the client until the *local* replica of the owning
+shard applies the command — the standard "client attached to a replica"
+SMR completion rule, which makes the result visible in the submitting
+process's own committed prefix.
+
+Replies are matched purely by identity, so retries are safe: the state
+machine deduplicates ``(client, request_id)`` and re-returns the original
+result, and a late second completion for an already-answered request is
+dropped here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.sim.environment import ProcessEnv
+from repro.smr.kv import KVCommand
+from repro.types import ProcessId
+
+
+def request_topic(shard: int) -> str:
+    """The message topic a shard's leader accepts client requests on."""
+    return f"shard-req-g{shard}"
+
+
+@dataclass
+class _Pending:
+    """One in-flight request on this process."""
+
+    gate: Any
+    done: bool = False
+    result: Any = None
+
+
+class ShardFrontend:
+    """Per-process request router for a sharded replicated service."""
+
+    def __init__(
+        self,
+        env: ProcessEnv,
+        shard_for: Callable[[str], int],
+        leader_of: Callable[[int], int],
+        local_submit: Callable[[int, KVCommand], None],
+        retry_timeout: float = 100.0,
+    ) -> None:
+        self.env = env
+        self.shard_for = shard_for
+        self.leader_of = leader_of
+        self.local_submit = local_submit
+        self.retry_timeout = retry_timeout
+        self.pending: Dict[Tuple[Any, Any], _Pending] = {}
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, command: KVCommand) -> Generator:
+        """Route *command* to its shard and park until it is applied here.
+
+        Returns the command's state-machine result.  Resends after
+        ``retry_timeout`` delays without an answer; dedup at the state
+        machine makes resends idempotent.
+        """
+        token = command.identity
+        if token is None:
+            raise ValueError(
+                "routed commands need client and request_id for reply matching"
+            )
+        if token in self.pending:
+            raise ValueError(f"request {token} already in flight")
+        env = self.env
+        shard = self.shard_for(command.key)
+        entry = _Pending(gate=env.new_gate(f"reply-{token[0]}-{token[1]}"))
+        self.pending[token] = entry
+        first = True
+        while not entry.done:
+            if not first:
+                self.retries += 1
+            first = False
+            leader = self.leader_of(shard)
+            if leader == int(env.pid):
+                self.local_submit(shard, command)
+            else:
+                yield env.send(ProcessId(leader), command, topic=request_topic(shard))
+            yield env.gate_wait(entry.gate, timeout=self.retry_timeout)
+        del self.pending[token]
+        return entry.result
+
+    # ------------------------------------------------------------------
+    def complete(self, command: Any, result: Any) -> None:
+        """Reply matching: called as the local replica applies commands."""
+        if not isinstance(command, KVCommand):
+            return
+        token = command.identity
+        if token is None:
+            return
+        entry = self.pending.get(token)
+        if entry is None or entry.done:
+            return  # not ours, or a duplicate application of an answered request
+        entry.done = True
+        entry.result = result
+        self.env.signal(entry.gate)

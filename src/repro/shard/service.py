@@ -1,0 +1,394 @@
+"""The sharded replicated KV service: N consensus groups, one kernel.
+
+This is the scaling layer the paper's systems descendants (Mu, DARE,
+APUS) build above a single replicated log.  State is partitioned across
+``n_shards`` independent SMR groups by consistent hashing; every process
+hosts one replica of every group, each group pins its own leader
+(``shard % n_processes``) so proposal work spreads across processes, and
+each leader drains its request queue into :class:`~repro.smr.log.Batch`
+entries so a single two-delay Protected Memory Paxos instance commits up
+to ``batch_max`` client commands.
+
+Crash-tolerant shards run :class:`~repro.smr.log.ReplicatedLog`
+(Protected Memory Paxos per slot).  Shards listed in
+``ShardConfig.bft_shards`` instead run Fast & Robust per slot — the
+Byzantine backend of :mod:`repro.smr.byzantine_log` — with the same
+batching and routing on top; their slot regions are declared up front,
+so each BFT shard carries a ``bft_max_slots`` cap.
+
+The service owns assembly (regions for every group union-ed into one
+:class:`~repro.core.cluster.MultiGroupCluster`), the per-process
+:class:`~repro.shard.router.ShardFrontend`, and the workload run loop
+that drives client tasks to completion and aggregates per-shard metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.broadcast.nonequivocating import neb_regions
+from repro.consensus.cheap_quorum import CheapQuorumConfig, cq_regions
+from repro.consensus.fast_robust import FastRobust, FastRobustConfig
+from repro.core.cluster import ClusterConfig, MultiGroupCluster
+from repro.errors import ConfigurationError
+from repro.mem.regions import RegionSpec
+from repro.metrics.workload import ShardStats, WorkloadReport
+from repro.shard.partitioner import ConsistentHashPartitioner
+from repro.shard.router import ShardFrontend, request_topic
+from repro.sim.latency import LatencyModel, NominalLatency
+from repro.smr.kv import KVCommand, KVStateMachine
+from repro.smr.log import Batch, ReplicatedLog, SmrConfig, smr_regions
+
+
+def shard_region(shard: int) -> str:
+    """Region/topic namespace of one crash-tolerant shard's log."""
+    return f"smr-g{shard}"
+
+
+@dataclass
+class ShardConfig:
+    """Everything needed to stand up one sharded replicated KV service."""
+
+    n_shards: int = 4
+    n_processes: int = 3
+    n_memories: int = 3
+    #: max commands one consensus instance carries (1 = seed behaviour)
+    batch_max: int = 8
+    #: virtual nodes per shard on the consistent-hash ring
+    vnodes: int = 64
+    seed: int = 0
+    latency: LatencyModel = field(default_factory=NominalLatency)
+    deadline: float = 50_000.0
+    trace: bool = False
+    #: client resend interval; dedup makes resends idempotent
+    retry_timeout: float = 200.0
+    #: how often an idle shard leader re-checks its request queue
+    idle_poll: float = 2.0
+    #: shard ids served by the Byzantine Fast & Robust backend
+    bft_shards: Tuple[int, ...] = ()
+    #: per-BFT-shard slot cap (slot regions are declared up front)
+    bft_max_slots: int = 8
+    bft_leader_timeout: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if self.batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1")
+        bad = [g for g in self.bft_shards if not 0 <= g < self.n_shards]
+        if bad:
+            raise ConfigurationError(f"bft_shards out of range: {bad}")
+
+
+class _Recorder:
+    """Collects per-request completions as client tasks finish them."""
+
+    def __init__(self, service: "ShardedKV") -> None:
+        self._service = service
+        self.completed = 0
+        self.stats: Dict[int, ShardStats] = {
+            g: ShardStats(shard=g) for g in range(service.config.n_shards)
+        }
+
+    def record(self, command: KVCommand, result: Any, latency: float) -> None:
+        shard = self._service.partitioner.shard_for(command.key)
+        self.stats[shard].latencies.append(latency)
+        self.completed += 1
+
+
+class ShardedKV:
+    """A multi-group replicated KV service inside one simulation kernel."""
+
+    def __init__(self, config: Optional[ShardConfig] = None) -> None:
+        self.config = cfg = config or ShardConfig()
+        self.partitioner = ConsistentHashPartitioner(cfg.n_shards, vnodes=cfg.vnodes)
+
+        regions: List[RegionSpec] = []
+        for g in range(cfg.n_shards):
+            leader = self.leader_of(g)
+            if g in cfg.bft_shards:
+                for slot in range(cfg.bft_max_slots):
+                    regions.extend(
+                        cq_regions(cfg.n_processes, leader, namespace=self._cq_ns(g, slot))
+                    )
+                    regions.extend(
+                        neb_regions(range(cfg.n_processes), namespace=self._neb_ns(g, slot))
+                    )
+            else:
+                regions.extend(
+                    smr_regions(cfg.n_processes, leader, region=shard_region(g))
+                )
+
+        self.cluster = MultiGroupCluster(
+            ClusterConfig(
+                n_processes=cfg.n_processes,
+                n_memories=cfg.n_memories,
+                latency=cfg.latency,
+                seed=cfg.seed,
+                trace=cfg.trace,
+                deadline=cfg.deadline,
+            ),
+            regions,
+        )
+        self.kernel = self.cluster.kernel
+
+        #: leader-side pending commands, one queue per shard
+        self.queues: Dict[int, Deque[KVCommand]] = {
+            g: deque() for g in range(cfg.n_shards)
+        }
+        self.machines: Dict[Tuple[int, int], KVStateMachine] = {}
+        self.logs: Dict[Tuple[int, int], ReplicatedLog] = {}
+        self.frontends: Dict[int, ShardFrontend] = {}
+        self._gates: Dict[int, Any] = {}
+        self._used_client_ids: set = set()
+
+        for pid in range(cfg.n_processes):
+            env = self.cluster.env_for(pid)
+            self.frontends[pid] = ShardFrontend(
+                env,
+                shard_for=self.partitioner.shard_for,
+                leader_of=self.leader_of,
+                local_submit=self._local_submit,
+                retry_timeout=cfg.retry_timeout,
+            )
+        for g in range(cfg.n_shards):
+            leader_env = self.cluster.env_for(self.leader_of(g))
+            self._gates[g] = leader_env.new_gate(f"g{g}-pending")
+        self._spawn_replicas()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def leader_of(self, shard: int) -> int:
+        """Static per-shard leader: groups round-robin across processes."""
+        return shard % self.config.n_processes
+
+    def _cq_ns(self, shard: int, slot: int) -> str:
+        return f"g{shard}cq{slot}"
+
+    def _neb_ns(self, shard: int, slot: int) -> str:
+        return f"g{shard}neb{slot}"
+
+    def machine(self, pid: int, shard: int) -> KVStateMachine:
+        return self.machines[(pid, shard)]
+
+    def snapshot(self, shard: int) -> Dict[str, Any]:
+        """The shard leader's current committed store."""
+        return self.machines[(self.leader_of(shard), shard)].snapshot()
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _spawn_replicas(self) -> None:
+        cfg = self.config
+        for g in range(cfg.n_shards):
+            leader = self.leader_of(g)
+            for pid in range(cfg.n_processes):
+                env = self.cluster.env_for(pid)
+                machine = KVStateMachine()
+                self.machines[(pid, g)] = machine
+                if g in cfg.bft_shards:
+                    self.cluster.spawn(
+                        pid, f"g{g}-bft-p{pid+1}", self._bft_driver(g, env, machine)
+                    )
+                else:
+                    log = ReplicatedLog(
+                        env,
+                        self._make_apply(pid, g, machine),
+                        SmrConfig(
+                            initial_leader=leader,
+                            region=shard_region(g),
+                            topic=shard_region(g),
+                        ),
+                        leader_fn=lambda g=g: self.leader_of(g),
+                    )
+                    self.logs[(pid, g)] = log
+                    self.cluster.spawn(pid, f"g{g}-listen-p{pid+1}", log.listener())
+                    if pid == leader:
+                        self.cluster.spawn(
+                            pid, f"g{g}-propose", self._proposer(g, env, log)
+                        )
+                if pid == leader:
+                    self.cluster.spawn(pid, f"g{g}-accept", self._acceptor(g, env))
+
+    def _make_apply(self, pid: int, shard: int, machine: KVStateMachine):
+        """Apply committed entries and answer this process's waiting clients."""
+        frontend = self.frontends[pid]
+
+        def apply_fn(slot: int, value: Any) -> None:
+            results = machine.apply(slot, value)
+            if isinstance(value, Batch):
+                for command, result in zip(value.commands, results):
+                    frontend.complete(command, result)
+            else:
+                frontend.complete(value, results)
+
+        return apply_fn
+
+    # ------------------------------------------------------------------
+    # per-shard server tasks
+    # ------------------------------------------------------------------
+    def _local_submit(self, shard: int, command: KVCommand) -> None:
+        """Enqueue a request arriving on the shard leader's own process."""
+        self.queues[shard].append(command)
+        gate = self._gates[shard]
+        self.cluster.env_for(self.leader_of(shard)).signal(gate)
+        gate.clear()
+
+    def _acceptor(self, shard: int, env) -> Generator:
+        """Leader-side intake: requests from remote frontends."""
+        while True:
+            envelope = yield from env.recv(topic=request_topic(shard))
+            if envelope is None:
+                continue
+            self._local_submit(shard, envelope.payload)
+
+    def _drain(self, shard: int) -> Tuple[KVCommand, ...]:
+        queue = self.queues[shard]
+        batch: List[KVCommand] = []
+        while queue and len(batch) < self.config.batch_max:
+            batch.append(queue.popleft())
+        return tuple(batch)
+
+    def _proposer(self, shard: int, env, log: ReplicatedLog) -> Generator:
+        """Leader loop of a crash-tolerant shard: drain, batch, commit."""
+        slot = 0
+        while True:
+            if not self.queues[shard]:
+                yield env.gate_wait(self._gates[shard], timeout=self.config.idle_poll)
+                continue
+            yield from log.propose_batch(slot, self._drain(shard))
+            slot = log.applied_upto + 1
+
+    def _bft_driver(self, shard: int, env, machine: KVStateMachine) -> Generator:
+        """One replica of a Byzantine shard: Fast & Robust per slot.
+
+        Followers enter each instance with a no-op and adopt the leader's
+        batch on the fast path.  Followers start waiting for slot ``i`` as
+        soon as slot ``i-1`` decides, so an idle leader must still commit
+        a heartbeat (empty batch) within ``bft_leader_timeout`` — but no
+        faster: each heartbeat burns one of the ``bft_max_slots``
+        pre-declared slots, so the leader waits for work at half the
+        follower timeout before giving up and proposing empty.
+        """
+        cfg = self.config
+        leader = self.leader_of(shard)
+        protocol = FastRobust(
+            FastRobustConfig(
+                cheap_quorum=CheapQuorumConfig(
+                    leader=leader,
+                    leader_timeout=cfg.bft_leader_timeout,
+                    unanimity_timeout=2 * cfg.bft_leader_timeout,
+                )
+            )
+        )
+        frontend = self.frontends[int(env.pid)]
+        for slot in range(cfg.bft_max_slots):
+            if int(env.pid) == leader:
+                if not self.queues[shard]:
+                    yield env.gate_wait(
+                        self._gates[shard], timeout=cfg.bft_leader_timeout / 2
+                    )
+                value: Any = Batch(self._drain(shard))
+            else:
+                value = Batch()  # follower no-op input; leader's batch wins
+            decided = yield from protocol.run_instance(
+                env,
+                value,
+                cq_namespace=self._cq_ns(shard, slot),
+                neb_namespace=self._neb_ns(shard, slot),
+                instance=(shard, slot),
+            )
+            results = machine.apply(slot, decided)
+            if isinstance(decided, Batch):
+                for command, result in zip(decided.commands, results):
+                    frontend.complete(command, result)
+
+    # ------------------------------------------------------------------
+    # workload driving
+    # ------------------------------------------------------------------
+    def _converged(self) -> bool:
+        """Every replica of every shard has applied the same prefix."""
+        for g in range(self.config.n_shards):
+            counts = {
+                self.machines[(pid, g)].applied_count
+                for pid in range(self.config.n_processes)
+            }
+            if len(counts) != 1:
+                return False
+        return True
+
+    def run_workload(
+        self,
+        clients: Sequence[Any],
+        deadline: Optional[float] = None,
+    ) -> WorkloadReport:
+        """Drive *clients* to completion; returns the aggregated report.
+
+        Clients without a pinned ``pid`` are spread round-robin across
+        processes.  The run ends when every request completed and all
+        replicas converged (or at the deadline, whichever is first —
+        check ``report.ok`` for shortfalls, e.g. an exhausted BFT
+        shard's slot budget).  Counters are reported as deltas from the
+        start of this call, so a service may run several workloads
+        back to back.
+        """
+        recorder = _Recorder(self)
+        # (client, request_id) is the at-most-once identity and the state
+        # machines remember it forever, so a client id may drive at most
+        # one workload per service: a reused id would silently absorb the
+        # new run's commands as duplicates.  Reject it loudly instead.
+        ids = [client.client_id for client in clients]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate client ids in workload: {ids}")
+        reused = self._used_client_ids.intersection(ids)
+        if reused:
+            raise ConfigurationError(
+                f"client ids {sorted(reused)} already ran on this service; "
+                "later workloads need fresh ids for exactly-once semantics"
+            )
+        self._used_client_ids.update(ids)
+        total = sum(client.n_ops for client in clients)
+        started_at = self.kernel.now
+        baseline = {
+            g: (machine.applied_count, machine.duplicates,
+                machine.batches_applied, machine.empty_batches)
+            for g in range(self.config.n_shards)
+            for machine in (self.machines[(self.leader_of(g), g)],)
+        }
+        for index, client in enumerate(clients):
+            pid = client.pid if client.pid is not None else index % self.config.n_processes
+            env = self.cluster.env_for(pid)
+            self.cluster.spawn(
+                pid,
+                f"client-c{client.client_id}",
+                client.task(env, self.frontends[pid], recorder),
+            )
+
+        def goal() -> bool:
+            return recorder.completed >= total and self._converged()
+
+        self.cluster.run_until(goal, deadline)
+
+        for g in range(self.config.n_shards):
+            machine = self.machines[(self.leader_of(g), g)]
+            applied0, duplicates0, batches0, empty0 = baseline[g]
+            stats = recorder.stats[g]
+            stats.duplicates = machine.duplicates - duplicates0
+            stats.committed_commands = (
+                (machine.applied_count - applied0) - stats.duplicates
+            )
+            # idle heartbeats (empty batches) are excluded so batch fill
+            # measures how well real traffic amortised consensus instances
+            stats.committed_batches = (
+                (machine.batches_applied - batches0)
+                - (machine.empty_batches - empty0)
+            )
+        return WorkloadReport(
+            shards=recorder.stats,
+            completed_requests=recorder.completed,
+            elapsed=self.kernel.now - started_at,
+            expected_requests=total,
+        )

@@ -1,0 +1,192 @@
+"""Workload engine: key distributions, operation mixes, client loops.
+
+YCSB-style traffic generation for the sharded service.  Key popularity is
+either uniform or Zipfian (the YCSB scrambled-zipfian constant
+``theta = 0.99`` by default), operation mixes are read/update fractions
+with the standard A/B/C presets, and clients come in two flavours:
+
+* **closed-loop** — a fixed population of clients, each with one request
+  outstanding; throughput is set by service latency (the classic
+  interactive-client model);
+* **open-loop** — requests arrive on a timer regardless of completions,
+  modelling exogenous arrival rates that can saturate a shard.
+
+All randomness flows through the kernel's seeded RNG, so a workload is
+fully reproducible from the service seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, Protocol, Sequence, Tuple
+
+from repro.smr.kv import KVCommand
+
+
+class KeyDistribution(Protocol):
+    """Anything that can draw the next key name from an RNG."""
+
+    def next_key(self, rng) -> str: ...
+
+
+@dataclass(frozen=True)
+class UniformKeys:
+    """Every key equally likely."""
+
+    n_keys: int
+    prefix: str = "key"
+
+    def next_key(self, rng) -> str:
+        return f"{self.prefix}{rng.randrange(self.n_keys)}"
+
+
+class ZipfianKeys:
+    """YCSB's Zipfian generator: item ``i`` drawn with weight ``1/i**theta``.
+
+    Uses the Gray et al. rejection-free formula (the one YCSB ships): two
+    constants precomputed from the harmonic-like sum ``zeta(n, theta)``
+    turn one uniform draw into a Zipf-distributed rank.  Rank 0 is the
+    hottest key.
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99, prefix: str = "key") -> None:
+        if n_keys < 2:
+            raise ValueError("Zipfian needs at least two keys")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.n_keys = n_keys
+        self.theta = theta
+        self.prefix = prefix
+        self._zetan = sum(1.0 / (i**theta) for i in range(1, n_keys + 1))
+        zeta2 = 1.0 + 0.5**theta
+        self._alpha = 1.0 / (1.0 - theta)
+        denominator = 1.0 - zeta2 / self._zetan
+        # n_keys == 2 makes zeta(n) == zeta(2), a 0/0 limit: the first two
+        # branches of next_rank then cover every draw, so eta is never used
+        self._eta = (
+            0.0
+            if denominator == 0.0
+            else (1.0 - (2.0 / n_keys) ** (1.0 - theta)) / denominator
+        )
+
+    def next_rank(self, rng) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n_keys * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def next_key(self, rng) -> str:
+        return f"{self.prefix}{self.next_rank(rng)}"
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Read/update fractions (reads are ``get``, updates are ``put``)."""
+
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+
+    def next_op(self, rng) -> str:
+        return "get" if rng.random() < self.read_fraction else "put"
+
+
+#: the standard YCSB core mixes
+YCSB_A = OperationMix(read_fraction=0.5)  # update heavy
+YCSB_B = OperationMix(read_fraction=0.95)  # read mostly
+YCSB_C = OperationMix(read_fraction=1.0)  # read only
+
+
+def _command(client_id: int, request_id: int, op: str, key: str) -> KVCommand:
+    value = f"c{client_id}-r{request_id}" if op == "put" else None
+    return KVCommand(op, key, value=value, client=client_id, request_id=request_id)
+
+
+@dataclass
+class ClosedLoopClient:
+    """One interactive client: submit, wait for the reply, repeat."""
+
+    client_id: int
+    n_ops: int
+    keys: KeyDistribution
+    mix: OperationMix = YCSB_A
+    think_time: float = 0.0
+    #: process to run on; None lets the service spread clients round-robin
+    pid: Optional[int] = None
+
+    def task(self, env, frontend, recorder) -> Generator:
+        for request_id in range(self.n_ops):
+            op = self.mix.next_op(env.rng)
+            key = self.keys.next_key(env.rng)
+            command = _command(self.client_id, request_id, op, key)
+            started = env.now
+            result = yield from frontend.submit(command)
+            recorder.record(command, result, env.now - started)
+            if self.think_time > 0.0:
+                yield env.sleep(self.think_time)
+
+
+@dataclass
+class ScriptedClient:
+    """Replays a fixed ``(op, key, value)`` script in order.
+
+    Deterministic by construction — the parity tests replay the same
+    script through the sharded service and the bare replicated log and
+    compare outcomes command for command.
+    """
+
+    client_id: int
+    script: Sequence[Tuple[str, str, Any]]
+    pid: Optional[int] = None
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.script)
+
+    def task(self, env, frontend, recorder) -> Generator:
+        for request_id, (op, key, value) in enumerate(self.script):
+            command = KVCommand(
+                op, key, value=value, client=self.client_id, request_id=request_id
+            )
+            started = env.now
+            result = yield from frontend.submit(command)
+            recorder.record(command, result, env.now - started)
+
+
+@dataclass
+class OpenLoopClient:
+    """Arrival-rate client: one request every ``interarrival`` delays,
+    regardless of how many are still in flight."""
+
+    client_id: int
+    n_ops: int
+    keys: KeyDistribution
+    mix: OperationMix = YCSB_A
+    interarrival: float = 1.0
+    #: draw exponential gaps (Poisson arrivals) instead of a fixed spacing
+    poisson: bool = False
+    pid: Optional[int] = None
+
+    def _one(self, env, frontend, recorder, command) -> Generator:
+        started = env.now
+        result = yield from frontend.submit(command)
+        recorder.record(command, result, env.now - started)
+
+    def task(self, env, frontend, recorder) -> Generator:
+        for request_id in range(self.n_ops):
+            op = self.mix.next_op(env.rng)
+            key = self.keys.next_key(env.rng)
+            command = _command(self.client_id, request_id, op, key)
+            yield env.spawn(
+                f"c{self.client_id}-r{request_id}",
+                self._one(env, frontend, recorder, command),
+            )
+            gap = self.interarrival
+            if self.poisson:
+                gap = env.rng.expovariate(1.0 / self.interarrival)
+            yield env.sleep(gap)

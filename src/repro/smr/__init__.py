@@ -15,9 +15,10 @@ from repro.smr.byzantine_log import (
     NOOP,
 )
 from repro.smr.kv import KVCommand, KVStateMachine
-from repro.smr.log import ReplicatedLog, SmrConfig
+from repro.smr.log import Batch, ReplicatedLog, SmrConfig, smr_regions
 
 __all__ = [
+    "Batch",
     "ByzantineLogConfig",
     "ByzantineReplicatedLog",
     "KVCommand",
@@ -25,4 +26,5 @@ __all__ = [
     "NOOP",
     "ReplicatedLog",
     "SmrConfig",
+    "smr_regions",
 ]

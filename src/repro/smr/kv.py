@@ -3,12 +3,20 @@
 The state machine applies ``KVCommand`` entries in slot order; reads go
 through the log too (they are commands), so every replica answers queries
 from the same committed prefix — the standard linearizable-SMR recipe.
+
+Slots may carry a single command or a :class:`~repro.smr.log.Batch` of
+commands; a batch is applied in order, and commands that carry a
+``(client, request_id)`` identity are applied at most once — a client
+retry that slips into a later slot re-returns the original result instead
+of re-executing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.smr.log import Batch
 
 
 @dataclass(frozen=True)
@@ -25,21 +33,53 @@ class KVCommand:
         if self.op not in ("put", "get", "delete"):
             raise ValueError(f"unknown KV op {self.op!r}")
 
+    @property
+    def identity(self) -> Optional[Tuple[Any, Any]]:
+        """The at-most-once dedup token, or None for anonymous commands."""
+        if self.client is None or self.request_id is None:
+            return None
+        return (self.client, self.request_id)
+
 
 class KVStateMachine:
     """Deterministic KV state machine; replicas converge by construction."""
 
     def __init__(self) -> None:
         self.data: Dict[str, Any] = {}
-        self.applied: List[Tuple[int, KVCommand, Any]] = []
+        self.applied: List[Tuple[int, Any, Any]] = []
+        #: (client, request_id) -> first result, for at-most-once retries
+        self.seen: Dict[Tuple[Any, Any], Any] = {}
+        self.duplicates = 0
+        self.batches_applied = 0
+        #: idle-heartbeat (empty) batches, kept separate so batch-fill
+        #: statistics reflect only slots that carried commands
+        self.empty_batches = 0
 
     def apply(self, slot: int, command: Any) -> Any:
-        """Apply one committed command; returns the command's result."""
+        """Apply one committed log entry; returns the entry's result.
+
+        A :class:`Batch` entry applies its commands in order and returns
+        the list of per-command results (empty list for a no-op batch).
+        """
+        if isinstance(command, Batch):
+            self.batches_applied += 1
+            if len(command) == 0:
+                self.empty_batches += 1
+            return [self._apply_one(slot, inner) for inner in command]
+        return self._apply_one(slot, command)
+
+    def _apply_one(self, slot: int, command: Any) -> Any:
         if not isinstance(command, KVCommand):
             # Unknown commands (e.g. no-ops from leader change) are skipped
             # deterministically.
             self.applied.append((slot, command, None))
             return None
+        token = command.identity
+        if token is not None and token in self.seen:
+            self.duplicates += 1
+            result = self.seen[token]
+            self.applied.append((slot, command, result))
+            return result
         if command.op == "put":
             self.data[command.key] = command.value
             result = None
@@ -47,6 +87,8 @@ class KVStateMachine:
             result = self.data.get(command.key)
         else:  # delete
             result = self.data.pop(command.key, None)
+        if token is not None:
+            self.seen[token] = result
         self.applied.append((slot, command, result))
         return result
 

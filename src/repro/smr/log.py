@@ -14,7 +14,7 @@ callback in slot order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.chains import ChainRunner
@@ -29,6 +29,33 @@ SMR_REGION = "smr"
 SMR_TOPIC = "smr"
 
 
+@dataclass(frozen=True)
+class Batch:
+    """An ordered group of commands committed by one consensus instance.
+
+    Batching amortises the per-slot cost: a single two-delay Protected
+    Memory Paxos instance carries ``len(batch)`` client commands, which the
+    state machine then applies in order.  An empty batch is a legal no-op
+    filler (leader change, heartbeat).
+    """
+
+    commands: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "commands", tuple(self.commands))
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self):
+        return iter(self.commands)
+
+    def __bool__(self) -> bool:
+        # An empty batch is still a real log entry (a no-op), so Batch
+        # truthiness follows "is a batch", not "has commands".
+        return True
+
+
 @dataclass
 class SmrConfig:
     """Configuration for the replicated log."""
@@ -36,15 +63,25 @@ class SmrConfig:
     initial_leader: int = 0
     leader_poll: float = 2.0
     retry_backoff: float = 4.0
+    #: region/topic namespace; a multi-group service gives every consensus
+    #: group its own namespace so groups sharing a kernel never interfere
+    region: str = SMR_REGION
+    topic: str = SMR_TOPIC
 
 
-def smr_regions(n_processes: int, initial_leader: int = 0) -> List[RegionSpec]:
-    """One dynamic-permission region covering all slots of all instances."""
+def smr_regions(
+    n_processes: int, initial_leader: int = 0, region: str = SMR_REGION
+) -> List[RegionSpec]:
+    """One dynamic-permission region covering all slots of all instances.
+
+    Pass a distinct *region* per consensus group to lay out several
+    independent replicated logs in the same memories.
+    """
     processes = range(n_processes)
     return [
         RegionSpec(
-            region_id=SMR_REGION,
-            prefix=(SMR_REGION,),
+            region_id=region,
+            prefix=(region,),
             initial_permission=Permission.exclusive_writer(initial_leader, processes),
             legal_change=exclusive_grab_policy(processes),
         )
@@ -72,10 +109,18 @@ class ReplicatedLog:
         env: ProcessEnv,
         apply_fn: Callable[[int, Any], None],
         config: Optional[SmrConfig] = None,
+        leader_fn: Optional[Callable[[], int]] = None,
     ) -> None:
         self.env = env
         self.apply_fn = apply_fn
         self.config = config or SmrConfig()
+        self.region = self.config.region
+        self.topic = self.config.topic
+        #: who may propose; defaults to the kernel's Ω oracle, but a sharded
+        #: service pins each group to its own statically assigned leader
+        self._leader_fn = leader_fn if leader_fn is not None else (
+            lambda: int(env.leader())
+        )
         self.slots: Dict[int, _SlotState] = {}
         self.applied_upto = -1
         self.highest_seen = Ballot.zero()
@@ -87,11 +132,11 @@ class ReplicatedLog:
         #: complete and proposing a cached slot must re-propose its value
         #: (otherwise a takeover could overwrite an earlier leader's commit)
         self.adopt_cache: Dict[int, Any] = {}
-        self.commit_gate = env.new_gate(f"smr-commit-p{int(env.pid)+1}")
+        self.commit_gate = env.new_gate(f"{self.region}-commit-p{int(env.pid)+1}")
 
     # ------------------------------------------------------------------
     def _slot_key(self, slot: int, pid: int) -> tuple:
-        return (SMR_REGION, slot, pid)
+        return (self.region, slot, pid)
 
     def _state(self, slot: int) -> _SlotState:
         return self.slots.setdefault(slot, _SlotState())
@@ -113,7 +158,7 @@ class ReplicatedLog:
         """Learn commits broadcast by the leader."""
         env = self.env
         while True:
-            envelope = yield from env.recv(topic=SMR_TOPIC)
+            envelope = yield from env.recv(topic=self.topic)
             if envelope is None:
                 continue
             payload = envelope.payload
@@ -133,13 +178,19 @@ class ReplicatedLog:
         env = self.env
         state = self._state(slot)
         while not state.decided:
-            if env.leader() != env.pid:
+            if self._leader_fn() != int(env.pid):
                 yield env.gate_wait(self.commit_gate, timeout=self.config.leader_poll)
                 continue
             yield from self._attempt(slot, command)
             if not state.decided:
                 yield env.sleep(self.config.retry_backoff * (1 + env.rng.random()))
         return state.value
+
+    def propose_batch(self, slot: int, commands: Iterable[Any]) -> Generator:
+        """Commit one :class:`Batch` of commands in *slot*; returns the
+        decided value (the batch, or another leader's entry on takeover)."""
+        decided = yield from self.propose(slot, Batch(tuple(commands)))
+        return decided
 
     def _attempt(self, slot: int, command: Any) -> Generator:
         env = self.env
@@ -154,12 +205,12 @@ class ReplicatedLog:
             if my_value is None:
                 return
 
-        chains = ChainRunner(env, f"smr2-{slot}")
+        chains = ChainRunner(env, f"{self.region}2-{slot}")
         slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
 
         def phase2(mid):
             result = yield from env.write(
-                mid, SMR_REGION, self._slot_key(slot, int(env.pid)), slot_value
+                mid, self.region, self._slot_key(slot, int(env.pid)), slot_value
             )
             return result.ok
 
@@ -170,25 +221,25 @@ class ReplicatedLog:
             return
         self._commit(slot, my_value)
         yield from env.broadcast(
-            (slot, Decision(value=my_value)), topic=SMR_TOPIC, include_self=False
+            (slot, Decision(value=my_value)), topic=self.topic, include_self=False
         )
 
     def _prepare(self, slot: int, prop_nr: Ballot, majority: int, command: Any) -> Generator:
         env = self.env
-        chains = ChainRunner(env, f"smr1-{slot}")
+        chains = ChainRunner(env, f"{self.region}1-{slot}")
         grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
         probe = PmpSlot(min_prop=prop_nr, acc_prop=None, value=BOTTOM)
 
         def phase1(mid):
-            yield from env.change_permission(mid, SMR_REGION, grab)
+            yield from env.change_permission(mid, self.region, grab)
             write = yield from env.write(
-                mid, SMR_REGION, self._slot_key(slot, int(env.pid)), probe
+                mid, self.region, self._slot_key(slot, int(env.pid)), probe
             )
             if not write.ok:
                 return (False, None)
             # Takeover reads the *whole* region: every slot any previous
             # leader may have written, not just the one being proposed.
-            snap = yield from env.snapshot(mid, SMR_REGION, (SMR_REGION,))
+            snap = yield from env.snapshot(mid, self.region, (self.region,))
             return (True, snap.value if snap.ok else None)
 
         yield from chains.launch(phase1)

@@ -1,0 +1,168 @@
+"""The workload engine: key distributions, op mixes, metrics aggregation."""
+
+import random
+
+import pytest
+
+from repro.metrics.workload import (
+    LatencySummary,
+    ShardStats,
+    WorkloadReport,
+    percentile,
+)
+from repro.shard.workload import (
+    OperationMix,
+    UniformKeys,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    ZipfianKeys,
+)
+
+
+class TestUniformKeys:
+    def test_covers_the_keyspace(self):
+        rng = random.Random(1)
+        dist = UniformKeys(10)
+        drawn = {dist.next_key(rng) for _ in range(500)}
+        assert drawn == {f"key{i}" for i in range(10)}
+
+    def test_roughly_flat(self):
+        rng = random.Random(2)
+        dist = UniformKeys(4)
+        counts = {}
+        for _ in range(4000):
+            key = dist.next_key(rng)
+            counts[key] = counts.get(key, 0) + 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+
+class TestZipfianKeys:
+    def test_ranks_stay_in_range(self):
+        rng = random.Random(3)
+        dist = ZipfianKeys(100)
+        for _ in range(2000):
+            assert 0 <= dist.next_rank(rng) < 100
+
+    def test_rank_zero_is_the_hottest(self):
+        rng = random.Random(4)
+        dist = ZipfianKeys(100, theta=0.99)
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[dist.next_rank(rng)] += 1
+        assert counts[0] == max(counts)
+        # hot key draws far above the uniform share (1% of 5000 = 50)
+        assert counts[0] > 300
+
+    def test_deterministic_for_a_seeded_rng(self):
+        dist = ZipfianKeys(64)
+        a = [dist.next_key(random.Random(9)) for _ in range(50)]
+        b = [dist.next_key(random.Random(9)) for _ in range(50)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(1)
+        with pytest.raises(ValueError):
+            ZipfianKeys(10, theta=1.5)
+
+    def test_two_key_distribution_is_well_defined(self):
+        # n_keys=2 makes the eta formula a 0/0 limit; it must not crash
+        # and must still draw both keys with rank 0 the hotter one.
+        rng = random.Random(7)
+        dist = ZipfianKeys(2)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[dist.next_rank(rng)] += 1
+        assert counts[0] > counts[1] > 0
+
+
+class TestOperationMix:
+    def test_ycsb_presets(self):
+        assert YCSB_A.read_fraction == 0.5
+        assert YCSB_B.read_fraction == 0.95
+        assert YCSB_C.read_fraction == 1.0
+
+    def test_read_only_mix_never_writes(self):
+        rng = random.Random(5)
+        assert all(YCSB_C.next_op(rng) == "get" for _ in range(200))
+
+    def test_mix_fraction_respected(self):
+        rng = random.Random(6)
+        reads = sum(1 for _ in range(4000) if YCSB_B.next_op(rng) == "get")
+        assert 0.92 < reads / 4000 < 0.98
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperationMix(read_fraction=1.5)
+
+
+class TestLatencyAggregation:
+    def test_percentile_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_summary_of_empty_samples(self):
+        summary = LatencySummary.of([])
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_summary_statistics(self):
+        summary = LatencySummary.of([2.0, 4.0, 6.0, 8.0])
+        assert summary.count == 4
+        assert summary.mean == 5.0
+        assert summary.max == 8.0
+        assert summary.p50 in (4.0, 6.0)
+
+    def test_shard_stats_batch_fill(self):
+        stats = ShardStats(shard=0, committed_commands=30, committed_batches=10)
+        assert stats.mean_batch_fill == 3.0
+        assert ShardStats(shard=1).mean_batch_fill == 0.0
+
+
+class TestWorkloadReport:
+    def _report(self):
+        shards = {
+            0: ShardStats(
+                shard=0,
+                committed_commands=40,
+                committed_batches=10,
+                latencies=[2.0, 4.0],
+            ),
+            1: ShardStats(
+                shard=1,
+                committed_commands=20,
+                committed_batches=10,
+                latencies=[6.0, 8.0],
+            ),
+        }
+        return WorkloadReport(shards=shards, completed_requests=60, elapsed=30.0)
+
+    def test_aggregates(self):
+        report = self._report()
+        assert report.committed_commands == 60
+        assert report.committed_batches == 20
+        assert report.commands_per_delay == 2.0
+        assert report.mean_batch_fill == 3.0
+        assert report.latency_summary().mean == 5.0
+
+    def test_rendering(self):
+        report = self._report()
+        table = report.per_shard_table()
+        assert "g0" in table and "g1" in table
+        assert "commands/delay" in report.summary()
+
+    def test_zero_elapsed_guard(self):
+        report = WorkloadReport(shards={}, completed_requests=0, elapsed=0.0)
+        assert report.commands_per_delay == 0.0
+        assert report.mean_batch_fill == 0.0
+
+    def test_shortfall_is_loud(self):
+        report = WorkloadReport(
+            shards={}, completed_requests=7, elapsed=10.0, expected_requests=10
+        )
+        assert not report.ok
+        assert "INCOMPLETE: 3 of 10" in report.summary()
+        assert self._report().ok
