@@ -1,0 +1,144 @@
+"""E15 — kernel hot-path throughput: dispatch tables, allocation-free wakes.
+
+The PR 2 engine overhaul replaced the kernel's isinstance dispatch, per
+event lambda closures and double-entry wake path with typed queue entries,
+flat dispatch tables, a same-instant ready lane and direct resumes.  This
+bench pins the result: it drives the three canonical hot paths —
+
+* ``message_storm``  — pure messaging (send → deliver → resume);
+* ``mem_op_storm``   — pure memory operations (the paper's RDMA primitive:
+  invoke → arrive → apply → resolve → resume);
+* ``e11_sharded_kv`` — the full E11 sharded-KV service workload (4 shards,
+  batch 8, Zipfian closed-loop YCSB-A clients);
+
+— and compares *schedule-invariant* simulated events per second (messages
+delivered + memory-op legs; each costs one virtual delay, and the figure
+cannot be gamed by scheduling the same work with fewer queue entries)
+against the pre-PR kernel, measured with the identical harness
+(``benchmarks/perf.py``) on the same host, interleaved best-of runs.
+
+Recorded pre-PR reference (conservative bests across sessions):
+
+=================  ===========  ===========  ========
+workload           pre-PR       post-PR      speedup
+=================  ===========  ===========  ========
+message_storm       83.7k/s     194.8k/s     2.33x
+mem_op_storm       132.4k/s     557.4k/s     4.21x
+e11_sharded_kv      31.8k/s      65.4k/s     2.04x
+=================  ===========  ===========  ========
+
+The wall-clock floor assertions below use margins well under the measured
+ratios so the bench stays green on a moderately slower machine; set
+``REPRO_PERF_STRICT=1`` to assert the full measured ratios instead.
+Schedule determinism (identical event/commit counts across two runs of the
+same seed) is asserted unconditionally.
+"""
+
+import os
+
+from benchmarks._common import emit, once, table
+from benchmarks.perf import WORKLOADS
+
+#: pre-PR sim_events_per_sec, measured with benchmarks/perf.py on the commit
+#: preceding this PR (interleaved A/B on the same host, best of 7+ runs).
+PRE_PR_SIM_EVENTS_PER_SEC = {
+    "message_storm": 83_705.0,
+    "mem_op_storm": 132_363.0,
+    "e11_sharded_kv": 31_768.0,
+}
+
+#: minimum speedup vs pre-PR each workload must keep (conservative floors
+#: under the measured 2.33x / 4.21x / 2.04x, leaving headroom for slower
+#: hosts); REPRO_PERF_STRICT=1 raises them to the measured ratios.
+SPEEDUP_FLOORS = {
+    "message_storm": 1.5,
+    "mem_op_storm": 3.0,
+    "e11_sharded_kv": 1.4,
+}
+STRICT_SPEEDUPS = {
+    "message_storm": 2.3,
+    "mem_op_storm": 4.2,
+    "e11_sharded_kv": 2.0,
+}
+
+RUNS = 5
+
+
+def _measure_all():
+    results = {}
+    for name, fn in WORKLOADS.items():
+        best = None
+        first_stats = None
+        for i in range(RUNS):
+            wall, stats = fn()
+            if first_stats is None:
+                first_stats = dict(stats)
+            else:
+                # Determinism: a fixed seed must reproduce the identical
+                # schedule — same scheduler entries, same simulated events,
+                # same commits — on every run.
+                assert stats == first_stats, (name, stats, first_stats)
+            best = wall if best is None else min(best, wall)
+        results[name] = {
+            "wall": best,
+            "events": first_stats["events"],
+            "sim_events": first_stats["sim_events"],
+            "commits": first_stats["commits"],
+            "sim_ev_per_sec": first_stats["sim_events"] / best,
+        }
+    return results
+
+
+def test_kernel_hotpath_throughput(benchmark):
+    results = once(benchmark, _measure_all)
+
+    floors = STRICT_SPEEDUPS if os.environ.get("REPRO_PERF_STRICT") else SPEEDUP_FLOORS
+    rows = []
+    for name, r in results.items():
+        pre = PRE_PR_SIM_EVENTS_PER_SEC[name]
+        speedup = r["sim_ev_per_sec"] / pre
+        rows.append(
+            [
+                name,
+                f"{pre:,.0f}",
+                f"{r['sim_ev_per_sec']:,.0f}",
+                f"{speedup:.2f}x",
+                f"{r['events']:,}",
+                f"{r['wall']*1000:.1f} ms",
+            ]
+        )
+    emit(
+        "E15",
+        "Kernel hot-path throughput vs pre-PR engine "
+        f"(schedule-invariant simulated events/sec, best of {RUNS})",
+        table(
+            ["workload", "pre-PR sim-ev/s", "now sim-ev/s", "speedup",
+             "queue events", "wall"],
+            rows,
+        ),
+        notes=(
+            "sim events = messages delivered + memory-op legs (2/op): the\n"
+            "schedule-invariant unit (one virtual delay each), comparable\n"
+            "across engine versions that schedule the same work with\n"
+            "different queue-entry counts.  Recorded pre-PR figures were\n"
+            "measured with benchmarks/perf.py on the same host as this\n"
+            "PR's development (see module docstring); refresh them if the\n"
+            "reference hardware changes.  Shape: the memory-operation hot\n"
+            "path — the paper's RDMA primitive — gained >4x (measured),\n"
+            "messaging >2.3x, and the full E11 sharded service ~2x\n"
+            "end-to-end (its time is now dominated by protocol logic, not\n"
+            "the kernel)."
+        ),
+    )
+
+    # The E11 workload must have actually committed its traffic.
+    e11 = results["e11_sharded_kv"]
+    assert e11["commits"] == 96 * 50
+
+    for name, r in results.items():
+        speedup = r["sim_ev_per_sec"] / PRE_PR_SIM_EVENTS_PER_SEC[name]
+        assert speedup >= floors[name], (
+            f"{name}: {speedup:.2f}x below the {floors[name]}x floor "
+            f"({r['sim_ev_per_sec']:,.0f} vs pre-PR "
+            f"{PRE_PR_SIM_EVENTS_PER_SEC[name]:,.0f} sim-ev/s)"
+        )

@@ -1,0 +1,264 @@
+"""Machine-readable kernel performance runner.
+
+Measures the simulator's hot-path throughput on three workloads and emits
+``BENCH_kernel.json`` — the perf trajectory every PR answers to:
+
+* ``message_storm``   — pure kernel messaging: 4 processes ping-ponging
+  20k messages (send → deliver → resume, no memory ops);
+* ``mem_op_storm``    — pure kernel memory path: 10k sequential register
+  writes (invoke → arrive → apply → resolve → resume);
+* ``e11_sharded_kv``  — the E11 sharded-KV service workload (4 shards,
+  batch 8, Zipfian closed-loop YCSB-A clients, 3 replicas, 3 memories):
+  the full stack the kernel exists to carry.
+
+Two throughput figures are reported per workload:
+
+* ``events_per_sec``      — scheduler entries processed per wall second
+  (``queue.popped``).  Engine-relative: an engine that schedules fewer
+  entries for the same simulated work shows fewer events.
+* ``sim_events_per_sec``  — *schedule-invariant* simulated events per wall
+  second: messages delivered + memory-operation legs (2 per op).  This is
+  the paper-meaningful unit (each costs one virtual delay) and is the
+  figure to compare across engine versions — it cannot be gamed by
+  scheduling the same work with fewer queue entries.
+
+Wall times are min-over-``--runs`` (noise floor); p50/p99 across runs are
+recorded so regressions in variance are visible too.
+
+Usage::
+
+    python benchmarks/perf.py                      # measure, write BENCH_kernel.json
+    python benchmarks/perf.py --check              # measure, compare vs committed
+                                                   # baseline, exit 1 on >25% regression
+    python benchmarks/perf.py --check --tolerance 0.4
+    python benchmarks/perf.py --out /tmp/now.json --baseline BENCH_kernel.json
+
+The committed baseline is machine-relative: refresh it (re-run without
+``--check`` and commit the JSON) when the reference hardware changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernel.json"
+SCHEMA = "repro-bench-kernel/1"
+
+
+# ----------------------------------------------------------------------
+# workloads — each returns (wall_seconds, stats_dict) for ONE fresh run
+# ----------------------------------------------------------------------
+def _run_message_storm(n_messages: int = 20_000):
+    from repro.mem.layout import MemoryLayout
+    from repro.sim.environment import ProcessEnv
+    from repro.sim.kernel import Kernel, SimConfig
+    from repro.types import ProcessId
+
+    n_procs = 4
+    kernel = Kernel(SimConfig(n_processes=n_procs, n_memories=0), MemoryLayout([]))
+    envs = [ProcessEnv(kernel, ProcessId(p)) for p in range(n_procs)]
+    per_task = n_messages // n_procs
+
+    def pinger(p):
+        env = envs[p]
+        for i in range(per_task):
+            yield env.send((p + 1) % n_procs, i, topic="t")
+            yield from env.recv(topic="t")
+
+    for p in range(n_procs):
+        kernel.spawn(p, f"p{p+1}", pinger(p))
+    start = time.perf_counter()
+    kernel.run(until=10.0**9)
+    wall = time.perf_counter() - start
+    messages = kernel.metrics.total_messages()
+    assert messages == n_messages, messages
+    return wall, {
+        "events": kernel.queue.popped,
+        "sim_events": messages,  # no memory ops in this storm
+        "commits": 0,
+    }
+
+
+def _run_mem_op_storm(n_ops: int = 10_000):
+    from repro.mem.layout import MemoryLayout
+    from repro.mem.permissions import Permission
+    from repro.mem.regions import RegionSpec
+    from repro.sim.environment import ProcessEnv
+    from repro.sim.kernel import Kernel, SimConfig
+    from repro.types import ProcessId
+
+    kernel = Kernel(
+        SimConfig(n_processes=3, n_memories=3),
+        MemoryLayout([RegionSpec("r", ("x",), Permission.open(range(3)))]),
+    )
+    env = ProcessEnv(kernel, ProcessId(0))
+
+    def writer():
+        for i in range(n_ops):
+            yield from env.write(0, "r", ("x", "k"), i)
+
+    kernel.spawn(0, "writer", writer())
+    start = time.perf_counter()
+    kernel.run(until=10.0**9)
+    wall = time.perf_counter() - start
+    ops = kernel.metrics.total_mem_ops()
+    assert ops == n_ops, ops
+    return wall, {
+        "events": kernel.queue.popped,
+        "sim_events": 2 * ops,  # request + response leg per op
+        "commits": 0,
+    }
+
+
+def _run_e11_sharded(n_clients: int = 96, ops_per_client: int = 50, seed: int = 7):
+    from repro.shard import ClosedLoopClient, ShardConfig, ShardedKV, YCSB_A, ZipfianKeys
+
+    service = ShardedKV(
+        ShardConfig(n_shards=4, batch_max=8, seed=seed, deadline=10.0**7)
+    )
+    clients = [
+        ClosedLoopClient(
+            client_id=i, n_ops=ops_per_client, keys=ZipfianKeys(256), mix=YCSB_A
+        )
+        for i in range(n_clients)
+    ]
+    start = time.perf_counter()
+    report = service.run_workload(clients)
+    wall = time.perf_counter() - start
+    expected = n_clients * ops_per_client
+    assert report.completed_requests == expected, report.completed_requests
+    kernel = service.kernel
+    return wall, {
+        "events": kernel.queue.popped,
+        "sim_events": kernel.metrics.total_messages()
+        + 2 * kernel.metrics.total_mem_ops(),
+        "commits": report.completed_requests,
+    }
+
+
+WORKLOADS = {
+    "message_storm": _run_message_storm,
+    "mem_op_storm": _run_mem_op_storm,
+    "e11_sharded_kv": _run_e11_sharded,
+}
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def measure(runs: int = 5) -> dict:
+    """Run every workload ``runs`` times; return the experiments dict."""
+    experiments = {}
+    for name, fn in WORKLOADS.items():
+        walls = []
+        stats = None
+        for _ in range(runs):
+            wall, stats = fn()
+            walls.append(wall)
+        walls.sort()
+        best = walls[0]
+        p50 = statistics.median(walls)
+        p99 = walls[min(len(walls) - 1, int(len(walls) * 0.99))]
+        experiments[name] = {
+            "runs": runs,
+            "wall_best_s": round(best, 6),
+            "wall_p50_s": round(p50, 6),
+            "wall_p99_s": round(p99, 6),
+            "events": stats["events"],
+            "sim_events": stats["sim_events"],
+            "events_per_sec": round(stats["events"] / best, 1),
+            "sim_events_per_sec": round(stats["sim_events"] / best, 1),
+            "commits_per_sec": round(stats["commits"] / best, 1)
+            if stats["commits"]
+            else None,
+        }
+        print(
+            f"  {name:<16} best={best:.4f}s p50={p50:.4f}s "
+            f"sim-ev/s={experiments[name]['sim_events_per_sec']:>12,.0f} "
+            f"ev/s={experiments[name]['events_per_sec']:>12,.0f}"
+        )
+    return experiments
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    """Regressions: experiments whose sim_events_per_sec dropped more than
+    *tolerance* versus the baseline.  Returns failure strings."""
+    failures = []
+    for name, base in baseline.get("experiments", {}).items():
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current measurement")
+            continue
+        floor = base["sim_events_per_sec"] * (1.0 - tolerance)
+        if now["sim_events_per_sec"] < floor:
+            failures.append(
+                f"{name}: sim_events_per_sec {now['sim_events_per_sec']:,.0f} "
+                f"< floor {floor:,.0f} "
+                f"(baseline {base['sim_events_per_sec']:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="where to write the JSON report (default: repo-root "
+                             "BENCH_kernel.json; BENCH_kernel.current.json under --check "
+                             "so the baseline is never clobbered)")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON for --check (default: committed BENCH_kernel.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop vs baseline (default 0.25)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="runs per workload; best-of is reported (default 5)")
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (
+            args.baseline.with_suffix(".current.json") if args.check else DEFAULT_BASELINE
+        )
+
+    # Load the baseline before any writing so --check can never compare a
+    # freshly written report against itself.
+    baseline = None
+    if args.check and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+
+    print(f"measuring kernel hot-path throughput ({args.runs} runs per workload)...")
+    experiments = measure(runs=args.runs)
+    report = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "experiments": experiments,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        if baseline is None:
+            print(f"no baseline at {args.baseline}; nothing to check against")
+            return 0
+        failures = check(experiments, baseline, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"perf check ok (within {args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,15 @@ def _encode(obj: Any, out: list) -> None:
             _encode(f.name, out)
             _encode(getattr(obj, f.name), out)
         out.append(b">")
+    elif getattr(type(obj), "_signable_fields_", None) is not None:
+        # Hand-written __slots__ value objects (Batch, KVCommand, ...)
+        # declare their comparable fields explicitly; encoded in the same
+        # shape as a dataclass of the same name and fields.
+        out.append(b"d" + type(obj).__name__.encode() + b"<")
+        for name in type(obj)._signable_fields_:
+            _encode(name, out)
+            _encode(getattr(obj, name), out)
+        out.append(b">")
     elif isinstance(obj, enum_types()):
         out.append(b"e" + type(obj).__name__.encode() + b"." + str(obj.name).encode() + b";")
     else:

@@ -38,6 +38,11 @@ from repro.types import (
 _ACK = OpStatus.ACK
 _NAK = OpStatus.NAK
 
+# Writes and refusals carry no value: share one immutable result each
+# instead of allocating per operation.
+_ACK_RESULT = OpResult(_ACK)
+_NAK_RESULT = OpResult(_NAK)
+
 
 @dataclass
 class OpCounts:
@@ -62,6 +67,10 @@ class Memory:
         }
         self.crashed = False
         self.counts = OpCounts()
+        # Flat handler table indexed by the operation's ``kind`` tag
+        # (see repro.mem.operations); order must match the OP_* numbering.
+        self._op_handlers = (self._read, self._write, self._snapshot,
+                             self._change_permission)
 
     # ------------------------------------------------------------------
     # failure injection
@@ -80,15 +89,10 @@ class Memory:
         process is free to *try* anything; the memory is the enforcement
         point (the paper's small trusted component).
         """
-        if isinstance(op, ReadOp):
-            return self._read(pid, op)
-        if isinstance(op, WriteOp):
-            return self._write(pid, op)
-        if isinstance(op, SnapshotOp):
-            return self._snapshot(pid, op)
-        if isinstance(op, ChangePermissionOp):
-            return self._change_permission(pid, op)
-        raise TypeError(f"unknown memory operation {op!r}")
+        kind = getattr(op, "kind", None)
+        if kind.__class__ is not int or not 0 <= kind < len(self._op_handlers):
+            raise TypeError(f"unknown memory operation {op!r}")
+        return self._op_handlers[kind](pid, op)
 
     def _spec_and_permission(self, region_id: RegionId):
         spec = self.layout.by_id(region_id)
@@ -101,28 +105,28 @@ class Memory:
         spec, perm = self._spec_and_permission(op.region)
         if spec is None or not spec.contains(op.key) or not perm.can_read(pid):
             self.counts.naks += 1
-            return OpResult(_NAK)
-        return OpResult(_ACK, self.registers.get(tuple(op.key), BOTTOM))
+            return _NAK_RESULT
+        return OpResult(_ACK, self.registers.get(op.key, BOTTOM))
 
     def _write(self, pid: ProcessId, op: WriteOp) -> OpResult:
         self.counts.writes += 1
         spec, perm = self._spec_and_permission(op.region)
         if spec is None or not spec.contains(op.key) or not perm.can_write(pid):
             self.counts.naks += 1
-            return OpResult(_NAK)
-        self.registers[tuple(op.key)] = op.value
-        return OpResult(_ACK)
+            return _NAK_RESULT
+        self.registers[op.key] = op.value
+        return _ACK_RESULT
 
     def _snapshot(self, pid: ProcessId, op: SnapshotOp) -> OpResult:
         self.counts.snapshots += 1
         spec, perm = self._spec_and_permission(op.region)
         if spec is None or not perm.can_read(pid):
             self.counts.naks += 1
-            return OpResult(_NAK)
-        prefix = tuple(op.prefix)
+            return _NAK_RESULT
+        prefix = op.prefix
         if not spec.contains(prefix):
             self.counts.naks += 1
-            return OpResult(_NAK)
+            return _NAK_RESULT
         view = {
             key: value
             for key, value in self.registers.items()
@@ -135,14 +139,14 @@ class Memory:
         spec, perm = self._spec_and_permission(op.region)
         if spec is None:
             self.counts.naks += 1
-            return OpResult(_NAK)
+            return _NAK_RESULT
         if not spec.legal_change(pid, perm, op.new_permission):
             # Illegal change: a no-op per the model.  NAK status is
             # informational; the permission state is untouched.
             self.counts.naks += 1
-            return OpResult(_NAK)
+            return _NAK_RESULT
         self.permissions[op.region] = op.new_permission
-        return OpResult(_ACK)
+        return _ACK_RESULT
 
     # ------------------------------------------------------------------
     # introspection helpers (tests, debugging)

@@ -6,48 +6,85 @@ operation — the RDMA analogue of reading a contiguous slot array with one
 verb (Section 7 describes slot arrays being read this way), and it costs the
 same two delays as any other memory operation.  ``changePermission``
 requests a permission change, subject to the region's ``legalChange``.
+
+Dispatch contract: each operation class carries an integer ``kind`` tag
+(one of the ``OP_*`` constants) so the memory applies ops through a flat
+handler table instead of an isinstance chain — the same discipline as the
+kernel's effect dispatch.  The numbering is dense and stable; new
+operations append.  Operations are allocated on the simulation hot path,
+so they are hand-written ``__slots__`` value objects (register keys are
+normalised to tuples once, at construction); treat instances as immutable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from repro.mem.permissions import Permission
 from repro.types import RegionId, RegisterKey
 
+OP_READ = 0
+OP_WRITE = 1
+OP_SNAPSHOT = 2
+OP_CHANGE_PERMISSION = 3
 
-@dataclass(frozen=True)
-class ReadOp:
+
+class _OpBase:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    __hash__ = None
+
+
+class ReadOp(_OpBase):
     """Read one register. Resolves to ``OpResult(ACK, value)`` or NAK."""
 
-    region: RegionId
-    key: RegisterKey
+    __slots__ = ("region", "key")
+    kind = OP_READ
+
+    def __init__(self, region: RegionId, key: RegisterKey) -> None:
+        self.region = region
+        self.key = tuple(key)
 
 
-@dataclass(frozen=True)
-class WriteOp:
+class WriteOp(_OpBase):
     """Write one register. Resolves to ``OpResult(ACK)`` or NAK."""
 
-    region: RegionId
-    key: RegisterKey
-    value: Any
+    __slots__ = ("region", "key", "value")
+    kind = OP_WRITE
+
+    def __init__(self, region: RegionId, key: RegisterKey, value: Any = None) -> None:
+        self.region = region
+        self.key = tuple(key)
+        self.value = value
 
 
-@dataclass(frozen=True)
-class SnapshotOp:
+class SnapshotOp(_OpBase):
     """Read all registers of *region* whose key starts with *prefix*.
 
     Resolves to ``OpResult(ACK, {key: value, ...})`` containing only
     registers that have been written; callers treat absent keys as ``⊥``.
     """
 
-    region: RegionId
-    prefix: RegisterKey
+    __slots__ = ("region", "prefix")
+    kind = OP_SNAPSHOT
+
+    def __init__(self, region: RegionId, prefix: RegisterKey) -> None:
+        self.region = region
+        self.prefix = tuple(prefix)
 
 
-@dataclass(frozen=True)
-class ChangePermissionOp:
+class ChangePermissionOp(_OpBase):
     """Request a permission change on *region*.
 
     The memory evaluates the region's ``legalChange`` policy; an illegal
@@ -56,8 +93,12 @@ class ChangePermissionOp:
     the paper never rely on this status, but tests do.
     """
 
-    region: RegionId
-    new_permission: Permission
+    __slots__ = ("region", "new_permission")
+    kind = OP_CHANGE_PERMISSION
+
+    def __init__(self, region: RegionId, new_permission: Permission) -> None:
+        self.region = region
+        self.new_permission = new_permission
 
 
 MemoryOp = ReadOp | WriteOp | SnapshotOp | ChangePermissionOp

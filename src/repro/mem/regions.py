@@ -36,11 +36,18 @@ class RegionSpec:
     initial_permission: Permission
     legal_change: LegalChangeFn = field(default=static_permissions, compare=False)
 
+    def __post_init__(self) -> None:
+        # Normalised once so the per-operation prefix compare in
+        # ``contains`` allocates nothing.
+        object.__setattr__(self, "prefix", tuple(self.prefix))
+
     def contains(self, key: RegisterKey) -> bool:
-        """True if register *key* belongs to this region (prefix match)."""
-        return len(key) >= len(self.prefix) and tuple(key[: len(self.prefix)]) == tuple(
-            self.prefix
-        )
+        """True if register *key* belongs to this region (prefix match).
+
+        *key* must be a tuple (operations normalise theirs at construction).
+        """
+        prefix = self.prefix
+        return len(key) >= len(prefix) and key[: len(prefix)] == prefix
 
     def overlaps(self, other: "RegionSpec") -> bool:
         """True if the two regions could share a register."""

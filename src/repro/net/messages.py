@@ -6,29 +6,46 @@ Byzantine process may send arbitrary *payloads* but cannot make a message
 appear to come from somebody else.  ``topic`` routes messages to the
 protocol layer that should consume them (several protocol stacks share one
 process's inbox, e.g. Cheap Quorum panic relays next to Paxos traffic).
+
+Envelopes are allocated once per message on the kernel's hot path, so they
+are a hand-written ``__slots__`` class: construction is a plain attribute
+fill, and ``msg_id`` comes from a module-level integer counter.  Treat
+instances as immutable once created.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.types import ProcessId
 
-_msg_ids = itertools.count()
+_next_msg_id = 0
 
 
-@dataclass(frozen=True)
 class Envelope:
     """One message in flight or delivered."""
 
-    src: ProcessId
-    dst: ProcessId
-    topic: str
-    payload: Any
-    sent_at: float
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("src", "dst", "topic", "payload", "sent_at", "msg_id")
+
+    def __init__(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        topic: str,
+        payload: Any,
+        sent_at: float,
+        msg_id: int | None = None,
+    ) -> None:
+        global _next_msg_id
+        self.src = src
+        self.dst = dst
+        self.topic = topic
+        self.payload = payload
+        self.sent_at = sent_at
+        if msg_id is None:
+            _next_msg_id += 1
+            msg_id = _next_msg_id
+        self.msg_id = msg_id
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

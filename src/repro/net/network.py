@@ -13,7 +13,6 @@ guards against future transport extensions rather than current behaviour.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.net.messages import Envelope
@@ -22,15 +21,35 @@ from repro.types import ProcessId
 MatchFn = Callable[[Envelope], bool]
 
 
-@dataclass
 class RecvWaiter:
-    """A task parked in ``recv`` until a matching envelope arrives."""
+    """A task parked in ``recv`` until a matching envelope arrives.
 
-    pid: ProcessId
-    token: int
-    topic: Optional[str]
-    match: Optional[MatchFn]
-    wake: Callable[[Envelope], None] = field(compare=False, default=None)
+    The kernel identifies the parked task by the ``task`` reference (plus
+    its suspension ``token``) and resumes it directly — no per-park wake
+    closure.  ``wake`` remains for externally built waiters (tests, custom
+    transports): when ``task`` is None the kernel falls back to calling it.
+
+    One waiter is allocated per parked receive, so this is a hand-written
+    ``__slots__`` class.
+    """
+
+    __slots__ = ("pid", "token", "topic", "match", "wake", "task")
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        token: int,
+        topic: Optional[str] = None,
+        match: Optional[MatchFn] = None,
+        wake: Optional[Callable[[Envelope], None]] = None,
+        task: Any = None,
+    ) -> None:
+        self.pid = pid
+        self.token = token
+        self.topic = topic
+        self.match = match
+        self.wake = wake
+        self.task = task
 
     def accepts(self, env: Envelope) -> bool:
         if self.topic is not None and env.topic != self.topic:
@@ -66,9 +85,15 @@ class Network:
             self.dropped += 1
             return None
         self._delivered_ids.add(env.msg_id)
-        for waiter in self.waiters[env.dst]:
-            if waiter.accepts(env):
-                self.waiters[env.dst].remove(waiter)
+        waiters = self.waiters[env.dst]
+        if waiters:
+            topic = env.topic
+            for index, waiter in enumerate(waiters):
+                if waiter.topic is not None and waiter.topic != topic:
+                    continue
+                if waiter.match is not None and not waiter.match(env):
+                    continue
+                del waiters[index]
                 return waiter
         self.inboxes[env.dst].append(env)
         return None
@@ -81,12 +106,20 @@ class Network:
     ) -> Optional[Envelope]:
         """Pop the first queued envelope matching (*topic*, *match*)."""
         inbox = self.inboxes[pid]
-        for env in inbox:
+        if not inbox:
+            return None
+        # Fast path: the common consumer pattern is "oldest message on my
+        # topic" — check the head before paying a scan + remove-by-index.
+        head = inbox[0]
+        if (topic is None or head.topic == topic) and (match is None or match(head)):
+            inbox.popleft()
+            return head
+        for index, env in enumerate(inbox):
             if topic is not None and env.topic != topic:
                 continue
             if match is not None and not match(env):
                 continue
-            inbox.remove(env)
+            del inbox[index]
             return env
         return None
 

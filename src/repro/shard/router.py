@@ -17,7 +17,6 @@ dropped here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.sim.environment import ProcessEnv
@@ -30,13 +29,15 @@ def request_topic(shard: int) -> str:
     return f"shard-req-g{shard}"
 
 
-@dataclass
 class _Pending:
     """One in-flight request on this process."""
 
-    gate: Any
-    done: bool = False
-    result: Any = None
+    __slots__ = ("gate", "done", "result")
+
+    def __init__(self, gate: Any) -> None:
+        self.gate = gate
+        self.done = False
+        self.result: Any = None
 
 
 class ShardFrontend:
@@ -57,6 +58,7 @@ class ShardFrontend:
         self.retry_timeout = retry_timeout
         self.pending: Dict[Tuple[Any, Any], _Pending] = {}
         self.retries = 0
+        self._topics: Dict[int, str] = {}  # shard -> request topic (cached)
 
     # ------------------------------------------------------------------
     def submit(self, command: KVCommand) -> Generator:
@@ -75,8 +77,11 @@ class ShardFrontend:
             raise ValueError(f"request {token} already in flight")
         env = self.env
         shard = self.shard_for(command.key)
-        entry = _Pending(gate=env.new_gate(f"reply-{token[0]}-{token[1]}"))
+        entry = _Pending(gate=env.new_gate("reply"))
         self.pending[token] = entry
+        topic = self._topics.get(shard)
+        if topic is None:
+            topic = self._topics[shard] = request_topic(shard)
         first = True
         while not entry.done:
             if not first:
@@ -86,7 +91,9 @@ class ShardFrontend:
             if leader == int(env.pid):
                 self.local_submit(shard, command)
             else:
-                yield env.send(ProcessId(leader), command, topic=request_topic(shard))
+                # ProcessId is a NewType over int: skip the wrap on the
+                # per-request path (hash/eq are identical).
+                yield env.send(leader, command, topic=topic)
             yield env.gate_wait(entry.gate, timeout=self.retry_timeout)
         del self.pending[token]
         return entry.result

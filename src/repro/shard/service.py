@@ -153,8 +153,12 @@ class ShardedKV:
                 local_submit=self._local_submit,
                 retry_timeout=cfg.retry_timeout,
             )
+        #: per-shard (leader env, pending gate), resolved once — the submit
+        #: path runs per client request and skips the env_for lookups
+        self._leader_envs: Dict[int, Any] = {}
         for g in range(cfg.n_shards):
             leader_env = self.cluster.env_for(self.leader_of(g))
+            self._leader_envs[g] = leader_env
             self._gates[g] = leader_env.new_gate(f"g{g}-pending")
         self._spawn_replicas()
 
@@ -232,18 +236,29 @@ class ShardedKV:
     # ------------------------------------------------------------------
     def _local_submit(self, shard: int, command: KVCommand) -> None:
         """Enqueue a request arriving on the shard leader's own process."""
-        self.queues[shard].append(command)
-        gate = self._gates[shard]
-        self.cluster.env_for(self.leader_of(shard)).signal(gate)
-        gate.clear()
+        queue = self.queues[shard]
+        queue.append(command)
+        # The shard server only parks on the gate when its queue is empty,
+        # so only the append that makes it non-empty can have a parked
+        # waiter to wake; later appends skip the signal round-trip.
+        if len(queue) == 1:
+            gate = self._gates[shard]
+            self._leader_envs[shard].signal(gate)
+            gate.clear()
 
     def _acceptor(self, shard: int, env) -> Generator:
         """Leader-side intake: requests from remote frontends."""
+        recv_request = env.recv_effect(topic=request_topic(shard))
+        queue = self.queues[shard]
+        gate = self._gates[shard]
         while True:
-            envelope = yield from env.recv(topic=request_topic(shard))
+            envelope = yield recv_request
             if envelope is None:
                 continue
-            self._local_submit(shard, envelope.payload)
+            queue.append(envelope.payload)
+            if len(queue) == 1:
+                env.signal(gate)
+                gate.clear()
 
     def _drain(self, shard: int) -> Tuple[KVCommand, ...]:
         queue = self.queues[shard]

@@ -68,6 +68,9 @@ class ZipfianKeys:
             if denominator == 0.0
             else (1.0 - (2.0 / n_keys) ** (1.0 - theta)) / denominator
         )
+        #: rank -> key string; Zipfian draws concentrate on few ranks, so
+        #: the per-request f-string is built once per distinct key
+        self._key_names: dict = {}
 
     def next_rank(self, rng) -> int:
         u = rng.random()
@@ -79,7 +82,11 @@ class ZipfianKeys:
         return int(self.n_keys * (self._eta * u - self._eta + 1.0) ** self._alpha)
 
     def next_key(self, rng) -> str:
-        return f"{self.prefix}{self.next_rank(rng)}"
+        rank = self.next_rank(rng)
+        key = self._key_names.get(rank)
+        if key is None:
+            key = self._key_names[rank] = f"{self.prefix}{rank}"
+        return key
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ insertion order and all randomness flows through one ``random.Random``.
 from repro.sim.effects import (
     GateWaitEffect,
     InvokeEffect,
+    OpEffect,
     RecvEffect,
     SendEffect,
     SleepEffect,
@@ -37,6 +38,7 @@ __all__ = [
     "Gate",
     "GateWaitEffect",
     "InvokeEffect",
+    "OpEffect",
     "JitteredSynchrony",
     "Kernel",
     "LatencyModel",

@@ -14,6 +14,7 @@ RecvEffect        park until a matching message arrives        Envelope/None*
 SleepEffect       park for a fixed virtual duration            None
 GateWaitEffect    park until a local gate opens                True/False*
 SpawnEffect       start another task on this process           Task
+OpEffect          one memory op, park until it resolves        OpResult
 ================  ==========================================  ==============
 
 (*) False/None indicates the optional timeout elapsed first.
@@ -22,11 +23,33 @@ SpawnEffect       start another task on this process           Task
 same virtual instant — computation is instantaneous in the model — so a
 process may, e.g., start writes to all memories in the same step and then
 ``WaitEffect`` on a majority.
+
+Dispatch contract
+-----------------
+
+The kernel does **not** dispatch on ``isinstance``.  Every effect class
+carries a small integer class attribute ``kind`` (one of the ``FX_*``
+constants below), and the kernel indexes a flat handler table with it —
+one list subscript per effect instead of a seven-way type scan.  The
+contract for anything a task yields:
+
+* ``effect.kind`` must be an ``FX_*`` integer, and the object must expose
+  the fields the matching handler reads (the constructor signatures below
+  are the authoritative field lists);
+* the numbering is dense and stable: handler tables are built as flat
+  lists, so new effect kinds append — they never renumber existing ones;
+* yielding an object without a usable ``kind`` is a :class:`SimulationError`
+  (the kernel reports it as a non-effect).
+
+Effects are plain ``__slots__`` value objects rather than dataclasses: they
+are allocated on every hot-path yield, and a hand-written ``__init__`` with
+slots is the cheapest construction Python offers.  Treat instances as
+immutable — the kernel may defer reading their fields until the effect is
+performed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional, Tuple
 
 from repro.mem.operations import MemoryOp
@@ -34,67 +57,151 @@ from repro.net.messages import Envelope
 from repro.sim.futures import Gate, OpFuture
 from repro.types import MemoryId, ProcessId
 
+# ---------------------------------------------------------------------------
+# Effect kinds: indices into the kernel's effect-handler table.
+# ---------------------------------------------------------------------------
+FX_SEND = 0
+FX_INVOKE = 1
+FX_WAIT = 2
+FX_RECV = 3
+FX_SLEEP = 4
+FX_GATE_WAIT = 5
+FX_SPAWN = 6
+FX_OP = 7
+
 
 class Effect:
-    """Marker base class for everything a protocol generator may yield."""
+    """Base class for everything a protocol generator may yield.
+
+    Subclassing is optional sugar: the kernel dispatches purely on the
+    ``kind`` tag (see the module docstring's dispatch contract).
+    """
 
     __slots__ = ()
+    kind: int = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    __hash__ = None  # effects are mutable-shaped value objects; not hashable
 
 
-@dataclass(frozen=True)
 class SendEffect(Effect):
     """Send *payload* to process *dst* on *topic* (fire-and-forget)."""
 
-    dst: ProcessId
-    topic: str
-    payload: Any
+    __slots__ = ("dst", "topic", "payload")
+    kind = FX_SEND
+
+    def __init__(self, dst: ProcessId, topic: str, payload: Any) -> None:
+        self.dst = dst
+        self.topic = topic
+        self.payload = payload
 
 
-@dataclass(frozen=True)
 class InvokeEffect(Effect):
     """Invoke *op* on memory *mid*; resumes immediately with an OpFuture."""
 
-    mid: MemoryId
-    op: MemoryOp
+    __slots__ = ("mid", "op")
+    kind = FX_INVOKE
+
+    def __init__(self, mid: MemoryId, op: MemoryOp) -> None:
+        self.mid = mid
+        self.op = op
 
 
-@dataclass(frozen=True)
 class WaitEffect(Effect):
     """Park until *count* of *futures* resolve, or *timeout* elapses."""
 
-    futures: Tuple[OpFuture, ...]
-    count: int
-    timeout: Optional[float] = None
+    __slots__ = ("futures", "count", "timeout")
+    kind = FX_WAIT
+
+    def __init__(
+        self,
+        futures: Tuple[OpFuture, ...],
+        count: int,
+        timeout: Optional[float] = None,
+    ) -> None:
+        # Normalised defensively: the kernel iterates futures repeatedly
+        # (count, register, re-count), which a generator argument would
+        # silently break.  tuple() of a tuple is identity-cheap.
+        self.futures = tuple(futures)
+        self.count = count
+        self.timeout = timeout
 
 
-@dataclass(frozen=True)
 class RecvEffect(Effect):
     """Park until a message matching (*topic*, *match*) arrives."""
 
-    topic: Optional[str] = None
-    match: Optional[Callable[[Envelope], bool]] = None
-    timeout: Optional[float] = None
+    __slots__ = ("topic", "match", "timeout")
+    kind = FX_RECV
+
+    def __init__(
+        self,
+        topic: Optional[str] = None,
+        match: Optional[Callable[[Envelope], bool]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.topic = topic
+        self.match = match
+        self.timeout = timeout
 
 
-@dataclass(frozen=True)
 class SleepEffect(Effect):
     """Park for *duration* units of virtual time."""
 
-    duration: float
+    __slots__ = ("duration",)
+    kind = FX_SLEEP
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
 
 
-@dataclass(frozen=True)
 class GateWaitEffect(Effect):
     """Park until *gate* is set, or *timeout* elapses."""
 
-    gate: Gate
-    timeout: Optional[float] = None
+    __slots__ = ("gate", "timeout")
+    kind = FX_GATE_WAIT
+
+    def __init__(self, gate: Gate, timeout: Optional[float] = None) -> None:
+        self.gate = gate
+        self.timeout = timeout
 
 
-@dataclass(frozen=True)
 class SpawnEffect(Effect):
     """Start *gen* as a sibling task of the current process."""
 
-    name: str
-    gen: Generator
-    daemon: bool = True
+    __slots__ = ("name", "gen", "daemon")
+    kind = FX_SPAWN
+
+    def __init__(self, name: str, gen: Generator, daemon: bool = True) -> None:
+        self.name = name
+        self.gen = gen
+        self.daemon = daemon
+
+
+class OpEffect(Effect):
+    """Invoke *op* on memory *mid* and park until it resolves.
+
+    The fused form of the ubiquitous ``InvokeEffect`` + one-future
+    ``WaitEffect`` sequence (``env.write``/``read``/``snapshot``/
+    ``change_permission``): same two-delay timing, but the kernel resumes
+    the task with the :class:`~repro.types.OpResult` directly — no future,
+    no waiter closure, one fewer queue entry.  Like a lone unresolved
+    future, the task hangs forever if the memory crashed; quorum callers
+    needing timeouts keep using invoke + wait.
+    """
+
+    __slots__ = ("mid", "op")
+    kind = FX_OP
+
+    def __init__(self, mid: MemoryId, op: MemoryOp) -> None:
+        self.mid = mid
+        self.op = op

@@ -34,6 +34,7 @@ from repro.net.messages import Envelope
 from repro.sim.effects import (
     GateWaitEffect,
     InvokeEffect,
+    OpEffect,
     RecvEffect,
     SendEffect,
     SleepEffect,
@@ -79,6 +80,12 @@ class ProcessEnv:
     def rng(self):
         return self._kernel.rng
 
+    @property
+    def strict_outstanding(self) -> bool:
+        """True when the kernel enforces one outstanding op per memory per
+        task (the model-conformance mode of Section 3)."""
+        return self._kernel.config.strict_outstanding
+
     def leader(self) -> ProcessId:
         """The Ω failure-detector oracle's current leader."""
         return ProcessId(self._kernel.omega(self._kernel.now))
@@ -111,9 +118,11 @@ class ProcessEnv:
         the ledger checks agreement per instance rather than treating a
         second slot's decision as a revocation.
         """
-        self._kernel.tracer.record(
-            self.now, "decide", f"p{int(self.pid)+1}", value=value, instance=instance
-        )
+        tracer = self._kernel.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.now, "decide", f"p{int(self.pid)+1}", value=value, instance=instance
+            )
         self._kernel.metrics.record_decision(self.pid, value, self.now, instance)
 
     def has_decided(self) -> bool:
@@ -163,8 +172,14 @@ class ProcessEnv:
 
     def signal(self, gate: Gate) -> None:
         """Open *gate*, waking its waiters (instant local action)."""
-        for notify in gate.set():
-            notify()
+        waiters = gate.set()
+        if waiters:
+            wake = self._kernel._wake
+            for waiter in waiters:
+                if waiter.__class__ is tuple:  # kernel-parked (task, token)
+                    wake(waiter[0], waiter[1], True)
+                else:
+                    waiter()
 
     # ------------------------------------------------------------------
     # sub-generators (``yield from env.xxx(...)``)
@@ -188,39 +203,28 @@ class ProcessEnv:
                 continue
             yield self.send(dst, payload, topic=topic)
 
-    def _one_op(self, mid: MemoryId, op: MemoryOp) -> Generator:
-        future = yield self.invoke(mid, op)
-        yield self.wait((future,), 1)
-        return future.result
-
     def read(self, mid: MemoryId, region: RegionId, key: RegisterKey) -> Generator:
         """Read one register on one memory; returns :class:`OpResult`."""
-        result = yield from self._one_op(mid, ReadOp(region=region, key=tuple(key)))
+        result = yield OpEffect(MemoryId(mid), ReadOp(region, key))
         return result
 
     def write(
         self, mid: MemoryId, region: RegionId, key: RegisterKey, value: Any
     ) -> Generator:
         """Write one register on one memory; returns :class:`OpResult`."""
-        result = yield from self._one_op(
-            mid, WriteOp(region=region, key=tuple(key), value=value)
-        )
+        result = yield OpEffect(MemoryId(mid), WriteOp(region, key, value))
         return result
 
     def snapshot(self, mid: MemoryId, region: RegionId, prefix: RegisterKey) -> Generator:
         """Snapshot-read a slot array on one memory; returns :class:`OpResult`."""
-        result = yield from self._one_op(
-            mid, SnapshotOp(region=region, prefix=tuple(prefix))
-        )
+        result = yield OpEffect(MemoryId(mid), SnapshotOp(region, prefix))
         return result
 
     def change_permission(
         self, mid: MemoryId, region: RegionId, new_permission: Permission
     ) -> Generator:
         """Request a permission change on one memory; returns :class:`OpResult`."""
-        result = yield from self._one_op(
-            mid, ChangePermissionOp(region=region, new_permission=new_permission)
-        )
+        result = yield OpEffect(MemoryId(mid), ChangePermissionOp(region, new_permission))
         return result
 
     def invoke_on_all(self, make_op: Callable[[MemoryId], MemoryOp]) -> Generator:

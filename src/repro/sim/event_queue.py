@@ -1,47 +1,114 @@
-"""A deterministic time-ordered event queue.
+"""A deterministic time-ordered event queue with typed, allocation-lean entries.
 
 Ties at equal virtual time are broken by insertion order (a monotonically
 increasing sequence number), which makes whole simulations reproducible from
 their seed: no dict-ordering or hash randomisation can leak into schedules.
+
+Entry format
+------------
+
+Heap entries are flat tuples ``(time, seq, kind, a, b, c)``.  ``kind`` is a
+small integer from the ``EV_*`` namespace below and ``a``/``b``/``c`` are the
+handler's operands (task, token, envelope, future, ...).  The kernel owns the
+meaning of each kind; the queue never inspects them.  Compared with the old
+``(time, seq, closure)`` format this removes one lambda + closure-cell
+allocation per scheduled event — the dominant allocation on the hot path.
+
+Alongside the heap there is a *ready lane*: a FIFO of entries that must run
+at the **current** instant, before any further heap entry.  The kernel uses
+it to resume tasks woken by an event that is being processed right now
+(message delivery, future resolution, gate signal) without round-tripping
+through the heap — the "double event" wake path the heap version paid.
+Ready entries carry no time: they are defined to run at ``Kernel.now``.
+
+Both lanes count into ``pushed``/``popped``/``len`` so queue statistics keep
+describing every scheduled event, whichever lane carried it.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Deque, List, Optional, Tuple
 
-EventFn = Callable[[], None]
+# ---------------------------------------------------------------------------
+# Event kinds.  The kernel maps each to a handler via a flat dispatch list,
+# so the numbering must stay dense and start at zero.
+# ---------------------------------------------------------------------------
+EV_CALL = 0          #: a = zero-argument callable (failure plans, ad-hoc timers)
+EV_RESUME = 1        #: a = task, b = resume value
+EV_WAKE = 2          #: a = task, b = suspension token, c = resume value
+EV_DELIVER = 3       #: a = envelope whose flight time elapsed
+EV_ARRIVE = 4        #: a = task, b = OpFuture (request leg reached the memory)
+EV_RESOLVE = 5       #: a = task, b = OpFuture, c = OpResult (response leg)
+EV_RECV_TIMEOUT = 6  #: a = task, b = suspension token (parked recv timed out)
+EV_OP_ARRIVE = 7     #: a = task, b = token, c = (mid, op) — fused OpEffect request leg
+EV_OP_RESOLVE = 8    #: a = task, b = token, c = (mid, result) — fused OpEffect response
+
+#: One scheduled event: ``(time, seq, kind, a, b, c)``.
+Entry = Tuple[float, int, int, Any, Any, Any]
 
 
 class EventQueue:
-    """Min-heap of ``(time, seq, callback)`` entries."""
+    """Min-heap of ``(time, seq, kind, a, b, c)`` entries plus a ready lane."""
+
+    __slots__ = ("_heap", "_ready", "_seq", "pushed", "popped")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, EventFn]] = []
-        self._seq = itertools.count()
+        self._heap: List[Entry] = []
+        self._ready: Deque[Tuple[int, Any, Any, Any]] = deque()
+        self._seq = 0
         self.pushed = 0
         self.popped = 0
 
-    def push(self, time: float, fn: EventFn) -> None:
-        """Schedule *fn* to run at virtual *time*."""
+    # ------------------------------------------------------------------
+    # heap lane
+    # ------------------------------------------------------------------
+    def push(self, time: float, kind: int, a: Any = None, b: Any = None, c: Any = None) -> None:
+        """Schedule event *kind* with operands ``(a, b, c)`` at virtual *time*."""
         if time != time or time < 0:  # NaN or negative
             raise ValueError(f"invalid event time {time!r}")
-        heapq.heappush(self._heap, (time, next(self._seq), fn))
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, kind, a, b, c))
         self.pushed += 1
 
-    def pop(self) -> Tuple[float, EventFn]:
-        """Remove and return the earliest ``(time, callback)``."""
-        time, _seq, fn = heapq.heappop(self._heap)
+    def pop(self) -> Tuple[float, int, Any, Any, Any]:
+        """Remove and return the earliest ``(time, kind, a, b, c)``.
+
+        Only valid when the ready lane is empty — the kernel drains ready
+        entries first so same-instant wakes never overtake their cause.
+        """
+        time, _seq, kind, a, b, c = heappop(self._heap)
         self.popped += 1
-        return time, fn
+        return time, kind, a, b, c
 
     def peek_time(self) -> Optional[float]:
-        """Earliest scheduled time, or None when empty."""
+        """Earliest scheduled heap time, or None when the heap is empty."""
         return self._heap[0][0] if self._heap else None
 
+    # ------------------------------------------------------------------
+    # ready lane (same-instant fast path)
+    # ------------------------------------------------------------------
+    def push_ready(self, kind: int, a: Any = None, b: Any = None, c: Any = None) -> None:
+        """Enqueue event *kind* to run at the current instant, before the heap."""
+        self._ready.append((kind, a, b, c))
+        self.pushed += 1
+
+    def pop_ready(self) -> Tuple[int, Any, Any, Any]:
+        """Remove and return the oldest ready ``(kind, a, b, c)``."""
+        entry = self._ready.popleft()
+        self.popped += 1
+        return entry
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._ready) or bool(self._heap)

@@ -14,12 +14,11 @@ instantaneous in the model.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.types import OpResult
 
-_future_ids = itertools.count()
+_next_future_id = 0
 
 
 class OpFuture:
@@ -28,7 +27,9 @@ class OpFuture:
     __slots__ = ("future_id", "op", "mid", "pid", "done", "result", "_waiters")
 
     def __init__(self, pid, mid, op) -> None:
-        self.future_id = next(_future_ids)
+        global _next_future_id
+        _next_future_id += 1
+        self.future_id = _next_future_id
         self.pid = pid
         self.mid = mid
         self.op = op
@@ -67,20 +68,33 @@ class OpFuture:
 
 
 class Gate:
-    """A level-triggered latch connecting tasks of the same process."""
+    """A level-triggered latch connecting tasks of the same process.
+
+    Waiters come in two shapes: plain callables (the public
+    :meth:`add_waiter` API) and ``(task, token)`` pairs parked by the
+    kernel's ``gate_wait`` handler via :meth:`park` — the latter avoids a
+    closure per wait on the hot path.  ``ProcessEnv.signal`` understands
+    both when draining :meth:`set`.
+    """
 
     __slots__ = ("name", "is_set", "_waiters")
 
     def __init__(self, name: str = "gate") -> None:
         self.name = name
         self.is_set = False
-        self._waiters: List[Callable[[], None]] = []
+        self._waiters: List[Any] = []
 
-    def set(self) -> List[Callable[[], None]]:
-        """Open the gate; return callbacks for the kernel to run."""
+    def set(self) -> List[Any]:
+        """Open the gate; return waiters (callables or kernel parks) to wake."""
         self.is_set = True
+        if not self._waiters:
+            return _NO_WAITERS
         waiters, self._waiters = self._waiters, []
         return waiters
+
+    def park(self, task: Any, token: int) -> None:
+        """Kernel fast path: park ``(task, token)`` without a closure."""
+        self._waiters.append((task, token))
 
     def clear(self) -> None:
         """Close the gate; future waiters block until the next :meth:`set`."""
@@ -98,6 +112,11 @@ class Gate:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Gate {self.name} {'set' if self.is_set else 'clear'}>"
+
+
+#: shared empty list returned by ``Gate.set`` when nobody waits (the common
+#: case for repeated signals); callers only iterate it, never mutate it
+_NO_WAITERS: List[Any] = []
 
 
 def count_done(futures: Tuple[OpFuture, ...]) -> int:

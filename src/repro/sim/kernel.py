@@ -22,12 +22,33 @@ Failure semantics:
 * a Byzantine process runs whatever strategy generator was installed, but
   the memories still enforce permissions and the signature authority still
   only gives it its own key.
+
+Hot-path structure
+------------------
+
+The kernel is also the inner loop of every experiment, so the scheduling
+machinery is built around flat dispatch tables instead of type scans and
+closures:
+
+* every queue entry is a typed tuple ``(time, seq, kind, a, b, c)`` (see
+  :mod:`repro.sim.event_queue`); ``run`` dispatches through
+  ``_ev_handlers[kind]`` — no per-event lambda is ever allocated;
+* every effect carries an integer ``kind`` tag (see
+  :mod:`repro.sim.effects`); ``_resume`` dispatches through
+  ``_fx_handlers[kind]`` — no isinstance chain;
+* a task woken at the current instant (message delivered, quorum reached,
+  gate signalled) is resumed through the queue's *ready lane* rather than
+  a second heap round-trip;
+* tracing and metrics are guarded by ``tracer.enabled`` before any label
+  or kwargs are built, and the nominal latency model's constant delays are
+  cached so the common case skips per-message method dispatch.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from heapq import heappop
 from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
 from repro.crypto.signatures import SignatureAuthority
@@ -47,7 +68,18 @@ from repro.sim.effects import (
     SpawnEffect,
     WaitEffect,
 )
-from repro.sim.event_queue import EventQueue
+from repro.sim.event_queue import (
+    EV_ARRIVE,
+    EV_CALL,
+    EV_DELIVER,
+    EV_OP_ARRIVE,
+    EV_OP_RESOLVE,
+    EV_RECV_TIMEOUT,
+    EV_RESOLVE,
+    EV_RESUME,
+    EV_WAKE,
+    EventQueue,
+)
 from repro.sim.futures import OpFuture
 from repro.sim.latency import LatencyModel, NominalLatency
 from repro.sim.tracing import Tracer
@@ -55,6 +87,9 @@ from repro.types import MemoryId, ProcessId, memory_name, process_name
 
 #: Ω failure-detector oracle: maps virtual time to the current leader pid.
 OmegaFn = Callable[[float], int]
+
+#: number of effect kinds the dispatch table covers (FX_SEND..FX_OP)
+_N_FX = 8
 
 
 @dataclass
@@ -146,23 +181,61 @@ class Kernel:
         self.crashed_processes: Set[ProcessId] = set()
         self.byzantine_processes: Set[ProcessId] = set()
         self.tasks: List[Task] = []
-        self._task_ids = iter(range(1, 1 << 30))
+        self._next_task_id = 0
         self.omega: OmegaFn = config.omega or (lambda now: 0)
+        # Constant delays of the latency model, or None when the model is
+        # dynamic.  NominalLatency declares all three as 1.0, letting the
+        # common case skip the method + RNG dispatch per message/leg.
+        latency = config.latency
+        self._msg_delay: Optional[float] = latency.constant_message_delay
+        self._req_delay: Optional[float] = latency.constant_request_delay
+        self._resp_delay: Optional[float] = latency.constant_response_delay
+        # Static config and ledger references hoisted off the per-event path.
+        # links_enabled and strict_outstanding are NOT hoisted: callers
+        # toggle both on the config post-init (e.g. the disk-model cluster).
+        self._max_inline_steps = config.max_inline_steps
+        self._msg_counter = self.metrics.messages_sent
+        self._mem_op_counter = self.metrics.mem_ops
+        # Flat dispatch tables, indexed by event kind / effect kind.  Order
+        # must match the EV_* / FX_* numbering exactly.
+        self._ev_handlers = [
+            self._ev_call,          # EV_CALL
+            self._ev_resume,        # EV_RESUME
+            self._ev_wake,          # EV_WAKE
+            self._ev_deliver,       # EV_DELIVER
+            self._ev_arrive,        # EV_ARRIVE
+            self._ev_resolve,       # EV_RESOLVE
+            self._ev_recv_timeout,  # EV_RECV_TIMEOUT
+            self._ev_op_arrive,     # EV_OP_ARRIVE
+            self._ev_op_resolve,    # EV_OP_RESOLVE
+        ]
+        self._fx_handlers = [
+            self._fx_send,       # FX_SEND
+            self._fx_invoke,     # FX_INVOKE
+            self._fx_wait,       # FX_WAIT
+            self._fx_recv,       # FX_RECV
+            self._fx_sleep,      # FX_SLEEP
+            self._fx_gate_wait,  # FX_GATE_WAIT
+            self._fx_spawn,      # FX_SPAWN
+            self._fx_op,         # FX_OP
+        ]
 
     # ------------------------------------------------------------------
     # task management
     # ------------------------------------------------------------------
     def spawn(self, pid: ProcessId, name: str, gen: Generator, daemon: bool = False) -> Task:
         """Register *gen* as a task of process *pid*; first step runs at ``now``."""
-        task = Task(next(self._task_ids), ProcessId(pid), name, gen, daemon)
+        self._next_task_id += 1
+        task = Task(self._next_task_id, ProcessId(pid), name, gen, daemon)
         self.tasks.append(task)
-        self.tracer.record(self.now, "spawn", task.label)
-        self.queue.push(self.now, lambda: self._resume(task, None))
+        if self.tracer.enabled:
+            self.tracer.record(self.now, "spawn", task.label)
+        self.queue.push(self.now, EV_RESUME, task, None)
         return task
 
     def call_at(self, time: float, fn: Callable[[], None]) -> None:
         """Run *fn* at virtual *time* (used by failure plans)."""
-        self.queue.push(max(time, self.now), fn)
+        self.queue.push(max(time, self.now), EV_CALL, fn)
 
     # ------------------------------------------------------------------
     # failure injection
@@ -203,22 +276,69 @@ class Kernel:
         stop_when: Optional[Callable[[], bool]] = None,
     ) -> float:
         """Process events until the queue drains, *until* passes, or
-        *stop_when* returns True.  Returns the final virtual time."""
+        *stop_when* returns True.  Returns the final virtual time.
+
+        This IS the hot loop: dispatch for the frequent event kinds is
+        inlined as an integer ``if``/``elif`` chain (cheaper than a table
+        call), with the rare kinds falling through to ``_ev_handlers``.
+        The queue's two lanes are drained ready-first through local
+        bindings; counters are maintained inline.
+        """
         processed = 0
-        while self.queue:
-            next_time = self.queue.peek_time()
-            if until is not None and next_time > until:
-                break
-            if stop_when is not None and stop_when():
-                break
-            time, fn = self.queue.pop()
-            if time < self.now:
-                raise SimulationError(f"time went backwards: {time} < {self.now}")
-            self.now = time
-            fn()
-            processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
+        queue = self.queue
+        ready = queue._ready
+        heap = queue._heap
+        pop_ready = ready.popleft
+        handlers = self._ev_handlers
+        resume = self._resume
+        deliver = self._deliver
+        try:
+            while ready or heap:
+                if stop_when is not None and stop_when():
+                    break
+                if ready:
+                    # Same-instant fast path: tasks woken by the event that
+                    # just ran resume now, before anything more off the heap.
+                    if until is not None and self.now > until:
+                        break
+                    kind, a, b, c = pop_ready()
+                else:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        break
+                    time, _seq, kind, a, b, c = heappop(heap)
+                    if time < self.now:
+                        raise SimulationError(
+                            f"time went backwards: {time} < {self.now}"
+                        )
+                    self.now = time
+                if kind == EV_RESUME:
+                    resume(a, b)
+                elif kind == EV_DELIVER:
+                    deliver(a)
+                elif kind == EV_WAKE:
+                    # Timer-driven wake (sleep, wait/gate timeout): token-
+                    # checked and folded straight into the resume — no
+                    # second entry.
+                    if a.pending_token == b and not a.done:
+                        resume(a, c)
+                elif kind == EV_OP_ARRIVE:
+                    self._ev_op_arrive(a, b, c)
+                elif kind == EV_OP_RESOLVE:
+                    self._ev_op_resolve(a, b, c)
+                elif kind == EV_ARRIVE:
+                    self._ev_arrive(a, b, c)
+                elif kind == EV_RESOLVE:
+                    self._resolve(a, b, c)
+                else:
+                    handlers[kind](a, b, c)
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            # Counter maintained in bulk: one attribute RMW per run() call
+            # instead of one per event.
+            queue.popped += processed
         return self.now
 
     def run_until_decided(
@@ -244,101 +364,189 @@ class Kernel:
         return goal()
 
     # ------------------------------------------------------------------
+    # event handlers (dispatch table: EV_* numbering)
+    # ------------------------------------------------------------------
+    def _ev_call(self, fn, _b, _c) -> None:
+        fn()
+
+    def _ev_resume(self, task, value, _c) -> None:
+        self._resume(task, value)
+
+    def _ev_wake(self, task, token, value) -> None:
+        # A timer-driven wake (sleep, wait/gate timeout): token-checked and
+        # folded straight into the resume — no second queue entry.
+        if task.pending_token == token and not task.done:
+            self._resume(task, value)
+
+    def _ev_deliver(self, env, _b, _c) -> None:
+        self._deliver(env)
+
+    def _memory_apply_leg(self, pid, mid, op):
+        """Shared arrival leg of both memory-op paths: apply *op* at the
+        memory (unless it crashed) and price the response leg.  Returns
+        ``(result, response_delay)``, or ``(None, None)`` when the memory
+        is down and the op must hang."""
+        memory = self.memories[mid]
+        if memory.crashed:
+            if self.tracer.enabled:
+                self.tracer.record(self.now, "mem_drop", memory_name(mid))
+            return None, None
+        result = memory.apply(pid, op)
+        resp = self._resp_delay
+        if resp is None:
+            resp = self.config.latency.memory_response_delay(pid, mid, self.now, self.rng)
+        return result, resp
+
+    def _op_response_bookkeeping(self, task: Task, mid, result) -> None:
+        """Shared response-leg bookkeeping of both memory-op paths."""
+        if self.config.strict_outstanding:
+            task.outstanding[mid] = max(0, task.outstanding.get(mid, 1) - 1)
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.now,
+                "op_result",
+                task.label,
+                mem=memory_name(mid),
+                status=result.status.value,
+            )
+
+    def _ev_arrive(self, task, future, _c) -> None:
+        result, resp = self._memory_apply_leg(future.pid, future.mid, future.op)
+        if result is None:
+            return  # the future never resolves: the op hangs
+        self.queue.push(self.now + resp, EV_RESOLVE, task, future, result)
+
+    def _ev_resolve(self, task, future, result) -> None:
+        self._resolve(task, future, result)
+
+    def _ev_recv_timeout(self, task, token, _c) -> None:
+        # Heap context (ready lane empty): unpark and resume directly.
+        if task.pending_token == token:
+            self.network.unpark(task.pid, token)
+            if not task.done and task.pid not in self.crashed_processes:
+                task.pending_token = None
+                self._resume(task, None)
+
+    def _ev_op_arrive(self, task, token, mid_op) -> None:
+        mid, op = mid_op
+        result, resp = self._memory_apply_leg(task.pid, mid, op)
+        if result is None:
+            return  # the op hangs: the parked task is never woken
+        self.queue.push(self.now + resp, EV_OP_RESOLVE, task, token, (mid, result))
+
+    def _ev_op_resolve(self, task, token, mid_result) -> None:
+        mid, result = mid_result
+        self._op_response_bookkeeping(task, mid, result)
+        # Fold the wake straight into the resume (like EV_WAKE).
+        if task.pending_token == token and not task.done:
+            self._resume(task, result)
+
+    # ------------------------------------------------------------------
     # task stepping
     # ------------------------------------------------------------------
     def _resume(self, task: Task, value: Any) -> None:
         if task.done or task.pid in self.crashed_processes:
             return
         task.pending_token = None
+        if not task.started:
+            task.started = True
+            value = None
+        gen_send = task.gen.send
+        handlers = self._fx_handlers
+        max_steps = self._max_inline_steps
         steps = 0
         while True:
             try:
-                if task.started:
-                    effect = task.gen.send(value)
-                else:
-                    task.started = True
-                    effect = task.gen.send(None)
+                effect = gen_send(value)
             except StopIteration as stop:
                 task.done = True
                 task.result = stop.value
-                self.tracer.record(self.now, "task_done", task.label, result=stop.value)
+                if self.tracer.enabled:
+                    self.tracer.record(self.now, "task_done", task.label, result=stop.value)
                 return
             steps += 1
-            if steps > self.config.max_inline_steps:
+            if steps > max_steps:
                 raise SimulationError(
                     f"task {task.label} ran {steps} effects at t={self.now} "
                     "without parking (runaway loop?)"
                 )
-            value = self._perform(task, effect)
+            try:
+                kind = effect.kind
+            except AttributeError:
+                kind = None
+            if kind.__class__ is not int or not 0 <= kind < _N_FX:
+                raise SimulationError(
+                    f"task {task.label} yielded non-effect {effect!r}"
+                )
+            value = handlers[kind](task, effect)
             if value is _PARKED:
                 return
 
-    def _perform(self, task: Task, effect: Effect) -> Any:
-        """Execute one effect; return the resume value or ``_PARKED``."""
-        if isinstance(effect, SendEffect):
-            self._send(task, effect)
-            return None
-        if isinstance(effect, InvokeEffect):
-            return self._invoke(task, effect)
-        if isinstance(effect, WaitEffect):
-            self._wait(task, effect)
-            return _PARKED
-        if isinstance(effect, RecvEffect):
-            return self._recv(task, effect)
-        if isinstance(effect, SleepEffect):
-            token = task.new_token()
-            self.queue.push(self.now + effect.duration, lambda: self._wake(task, token, None))
-            return _PARKED
-        if isinstance(effect, GateWaitEffect):
-            self._gate_wait(task, effect)
-            return _PARKED
-        if isinstance(effect, SpawnEffect):
-            return self.spawn(task.pid, effect.name, effect.gen, daemon=effect.daemon)
-        raise SimulationError(f"task {task.label} yielded non-effect {effect!r}")
-
     def _wake(self, task: Task, token: int, value: Any) -> None:
-        """Resume *task* if suspension *token* is still pending."""
+        """Resume *task* at the current instant if *token* is still pending.
+
+        The resume goes through the queue's ready lane: it runs as soon as
+        the event that triggered the wake finishes, ahead of any further
+        heap entry, and never allocates a closure or a heap slot.
+        """
         if task.done or task.pending_token != token:
             return
         if task.pid in self.crashed_processes:
             return
         task.pending_token = None
-        self.queue.push(self.now, lambda: self._resume(task, value))
+        self.queue.push_ready(EV_RESUME, task, value)
 
     # ------------------------------------------------------------------
-    # effect implementations
+    # effect handlers (dispatch table: FX_* numbering)
     # ------------------------------------------------------------------
-    def _send(self, task: Task, effect: SendEffect) -> None:
+    def _fx_send(self, task: Task, effect: SendEffect) -> None:
         if not self.config.links_enabled:
             raise SimulationError(
                 f"{task.label} sent a message in the link-free disk model"
             )
-        env = Envelope(
-            src=task.pid,
-            dst=ProcessId(effect.dst),
-            topic=effect.topic,
-            payload=effect.payload,
-            sent_at=self.now,
-        )
-        self.metrics.count_message(task.pid)
-        delay = self.config.latency.message_delay(task.pid, env.dst, self.now, self.rng)
-        self.tracer.record(
-            self.now, "send", task.label, dst=process_name(env.dst), topic=effect.topic
-        )
-        self.queue.push(self.now + delay, lambda: self._deliver(env))
+        dst = effect.dst
+        env = Envelope(task.pid, dst, effect.topic, effect.payload, self.now)
+        self._msg_counter[task.pid] += 1
+        delay = self._msg_delay
+        if delay is None:
+            delay = self.config.latency.message_delay(task.pid, dst, self.now, self.rng)
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.now, "send", task.label, dst=process_name(dst), topic=effect.topic
+            )
+        self.queue.push(self.now + delay, EV_DELIVER, env)
+        return None
 
     def _deliver(self, env: Envelope) -> None:
         if env.dst in self.crashed_processes:
             return
-        self.tracer.record(
-            self.now, "deliver", process_name(env.dst), src=process_name(env.src), topic=env.topic
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.now, "deliver", process_name(env.dst),
+                src=process_name(env.src), topic=env.topic,
+            )
         waiter = self.network.deliver(env)
         if waiter is not None:
-            waiter.wake(env)
+            task = waiter.task
+            if task is not None:
+                # _deliver only runs off the heap, where the ready lane is
+                # empty by construction — resuming directly here is order-
+                # identical to a ready-lane round trip, minus the round trip.
+                if (
+                    task.pending_token == waiter.token
+                    and not task.done
+                    and task.pid not in self.crashed_processes
+                ):
+                    task.pending_token = None
+                    self._resume(task, env)
+            else:  # pragma: no cover - compat for externally built waiters
+                waiter.wake(env)
 
-    def _invoke(self, task: Task, effect: InvokeEffect) -> OpFuture:
-        mid = MemoryId(effect.mid)
+    def _op_request_leg(self, task: Task, mid, op) -> float:
+        """Shared request leg of both memory-op paths: validate the target,
+        enforce the one-outstanding rule (strict mode only — the permissive
+        default skips the dict traffic entirely), count and trace the op.
+        Returns the request delay."""
         if mid >= len(self.memories):
             raise SimulationError(f"no such memory mu{int(mid) + 1}")
         if self.config.strict_outstanding:
@@ -346,84 +554,103 @@ class Kernel:
                 raise OutstandingOpError(
                     f"{task.label} already has an outstanding op on {memory_name(mid)}"
                 )
-        task.outstanding[mid] = task.outstanding.get(mid, 0) + 1
-        future = OpFuture(task.pid, mid, effect.op)
-        self.metrics.count_mem_op(task.pid, type(effect.op).__name__)
-        memory = self.memories[mid]
-        req = self.config.latency.memory_request_delay(task.pid, mid, self.now, self.rng)
-        self.tracer.record(
-            self.now, "invoke", task.label, mem=memory_name(mid), op=type(effect.op).__name__
-        )
+            task.outstanding[mid] = task.outstanding.get(mid, 0) + 1
+        self._mem_op_counter[task.pid, type(op).__name__] += 1
+        req = self._req_delay
+        if req is None:
+            req = self.config.latency.memory_request_delay(task.pid, mid, self.now, self.rng)
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.now, "invoke", task.label, mem=memory_name(mid), op=type(op).__name__
+            )
+        return req
 
-        def arrive() -> None:
-            if memory.crashed:
-                self.tracer.record(self.now, "mem_drop", memory_name(mid))
-                return  # the future never resolves: the op hangs
-            result = memory.apply(task.pid, effect.op)
-            resp = self.config.latency.memory_response_delay(task.pid, mid, self.now, self.rng)
-            self.queue.push(self.now + resp, lambda: self._resolve(task, future, result))
-
-        self.queue.push(self.now + req, arrive)
+    def _fx_invoke(self, task: Task, effect: InvokeEffect) -> OpFuture:
+        mid = effect.mid
+        op = effect.op
+        req = self._op_request_leg(task, mid, op)
+        future = OpFuture(task.pid, mid, op)
+        self.queue.push(self.now + req, EV_ARRIVE, task, future)
         return future
 
     def _resolve(self, task: Task, future: OpFuture, result) -> None:
-        task.outstanding[future.mid] = max(0, task.outstanding.get(future.mid, 1) - 1)
-        self.tracer.record(
-            self.now,
-            "op_result",
-            task.label,
-            mem=memory_name(future.mid),
-            status=result.status.value,
-        )
+        self._op_response_bookkeeping(task, future.mid, result)
         for notify in future.resolve(result):
             notify()
 
-    def _wait(self, task: Task, effect: WaitEffect) -> None:
-        token = task.new_token()
-        futures = tuple(effect.futures)
+    def _fx_wait(self, task: Task, effect: WaitEffect):
+        futures = effect.futures
         needed = effect.count
+        done_now = 0
+        for f in futures:
+            if f.done:
+                done_now += 1
+        if needed <= 0 or done_now >= needed:
+            # Already satisfied: resume at this instant through the ready
+            # lane (one entry, no closures) instead of a heap round-trip.
+            self.queue.push_ready(EV_RESUME, task, True)
+            return _PARKED
+        token = task.new_token()
 
         def check() -> None:
-            if sum(1 for f in futures if f.done) >= needed:
+            done = 0
+            for f in futures:
+                if f.done:
+                    done += 1
+            if done >= needed:
                 self._wake(task, token, True)
 
-        if needed <= 0 or sum(1 for f in futures if f.done) >= needed:
-            self.queue.push(self.now, lambda: self._wake(task, token, True))
-            return
         for f in futures:
             f.add_waiter(check)
         if effect.timeout is not None:
-            self.queue.push(
-                self.now + effect.timeout, lambda: self._wake(task, token, False)
-            )
+            self.queue.push(self.now + effect.timeout, EV_WAKE, task, token, False)
+        return _PARKED
 
-    def _recv(self, task: Task, effect: RecvEffect) -> Any:
+    def _fx_recv(self, task: Task, effect: RecvEffect):
         env = self.network.try_consume(task.pid, effect.topic, effect.match)
         if env is not None:
             return env
         token = task.new_token()
-        waiter = RecvWaiter(
-            pid=task.pid,
-            token=token,
-            topic=effect.topic,
-            match=effect.match,
-            wake=lambda e: self._wake(task, token, e),
+        self.network.park(
+            RecvWaiter(
+                pid=task.pid,
+                token=token,
+                topic=effect.topic,
+                match=effect.match,
+                task=task,
+            )
         )
-        self.network.park(waiter)
         if effect.timeout is not None:
-
-            def timeout_fired() -> None:
-                self.network.unpark(task.pid, token)
-                self._wake(task, token, None)
-
-            self.queue.push(self.now + effect.timeout, timeout_fired)
+            self.queue.push(self.now + effect.timeout, EV_RECV_TIMEOUT, task, token)
         return _PARKED
 
-    def _gate_wait(self, task: Task, effect: GateWaitEffect) -> None:
+    def _fx_sleep(self, task: Task, effect: SleepEffect):
         token = task.new_token()
-        effect.gate.add_waiter(lambda: self._wake(task, token, True))
+        self.queue.push(self.now + effect.duration, EV_WAKE, task, token, None)
+        return _PARKED
+
+    def _fx_gate_wait(self, task: Task, effect: GateWaitEffect):
+        gate = effect.gate
+        if gate.is_set:
+            self.queue.push_ready(EV_RESUME, task, True)
+            return _PARKED
+        token = task.new_token()
+        gate.park(task, token)
         if effect.timeout is not None:
-            self.queue.push(self.now + effect.timeout, lambda: self._wake(task, token, False))
+            self.queue.push(self.now + effect.timeout, EV_WAKE, task, token, False)
+        return _PARKED
+
+    def _fx_spawn(self, task: Task, effect: SpawnEffect):
+        return self.spawn(task.pid, effect.name, effect.gen, daemon=effect.daemon)
+
+    def _fx_op(self, task: Task, effect):
+        """Fused invoke + one-future wait (see :class:`OpEffect`)."""
+        mid = effect.mid
+        op = effect.op
+        req = self._op_request_leg(task, mid, op)
+        token = task.new_token()
+        self.queue.push(self.now + req, EV_OP_ARRIVE, task, token, (mid, op))
+        return _PARKED
 
     # ------------------------------------------------------------------
     # introspection

@@ -26,7 +26,36 @@ from repro.types import MemoryId, ProcessId
 
 
 class LatencyModel:
-    """Base latency model: nominal unit delays."""
+    """Base latency model: nominal unit delays.
+
+    A model whose delays are *fixed* may declare them through the three
+    ``constant_*`` class attributes.  The kernel caches these at
+    construction and, when set, skips the per-message/per-leg method and
+    RNG dispatch entirely — the hot-path contract behind
+    :class:`NominalLatency`.  Dynamic models must leave them ``None``
+    (the default): the kernel then calls the ``*_delay`` methods.
+    """
+
+    #: fixed message delay, or None when ``message_delay`` must be called
+    constant_message_delay: Optional[float] = None
+    #: fixed request leg, or None when ``memory_request_delay`` must be called
+    constant_request_delay: Optional[float] = None
+    #: fixed response leg, or None when ``memory_response_delay`` must be called
+    constant_response_delay: Optional[float] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Self-enforcing constant contract: a subclass that overrides a
+        # *_delay method without re-declaring the matching constant would
+        # otherwise inherit the constant and have its override silently
+        # ignored by the kernel — reset the constant so the method is used.
+        for method, constant in (
+            ("message_delay", "constant_message_delay"),
+            ("memory_request_delay", "constant_request_delay"),
+            ("memory_response_delay", "constant_response_delay"),
+        ):
+            if method in cls.__dict__ and constant not in cls.__dict__:
+                setattr(cls, constant, None)
 
     def message_delay(
         self, src: ProcessId, dst: ProcessId, now: float, rng: random.Random
@@ -45,7 +74,17 @@ class LatencyModel:
 
 
 class NominalLatency(LatencyModel):
-    """The common-case schedule: 1 delay per message, 2 per memory op."""
+    """The common-case schedule: 1 delay per message, 2 per memory op.
+
+    Declares its delays as constants so the kernel's fast path never calls
+    into the model per message.  A subclass that overrides a ``*_delay``
+    method automatically drops the matching constant (see
+    ``LatencyModel.__init_subclass__``), so overrides always take effect.
+    """
+
+    constant_message_delay = 1.0
+    constant_request_delay = 1.0
+    constant_response_delay = 1.0
 
 
 class JitteredSynchrony(LatencyModel):

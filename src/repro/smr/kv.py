@@ -13,32 +13,62 @@ of re-executing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.smr.log import Batch
 
 
-@dataclass(frozen=True)
 class KVCommand:
-    """One state-machine command: put/get/delete."""
+    """One state-machine command: put/get/delete.
 
-    op: str  # "put" | "get" | "delete"
-    key: str
-    value: Any = None
-    client: Optional[int] = None
-    request_id: Optional[int] = None
+    A hand-written ``__slots__`` value object (one is allocated per client
+    request on the workload hot path).  ``identity`` — the at-most-once
+    dedup token, or None for anonymous commands — is precomputed at
+    construction: it is read on every routing, apply and completion step.
+    Treat instances as immutable.
+    """
 
-    def __post_init__(self) -> None:
-        if self.op not in ("put", "get", "delete"):
-            raise ValueError(f"unknown KV op {self.op!r}")
+    __slots__ = ("op", "key", "value", "client", "request_id", "identity")
+    #: fields the crypto canonical encoder signs (identity is derived)
+    _signable_fields_ = ("op", "key", "value", "client", "request_id")
 
-    @property
-    def identity(self) -> Optional[Tuple[Any, Any]]:
-        """The at-most-once dedup token, or None for anonymous commands."""
-        if self.client is None or self.request_id is None:
-            return None
-        return (self.client, self.request_id)
+    def __init__(
+        self,
+        op: str,  # "put" | "get" | "delete"
+        key: str,
+        value: Any = None,
+        client: Optional[int] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        if op not in ("put", "get", "delete"):
+            raise ValueError(f"unknown KV op {op!r}")
+        self.op = op
+        self.key = key
+        self.value = value
+        self.client = client
+        self.request_id = request_id
+        self.identity: Optional[Tuple[Any, Any]] = (
+            (client, request_id)
+            if client is not None and request_id is not None
+            else None
+        )
+
+    def _fields(self) -> Tuple[Any, ...]:
+        return (self.op, self.key, self.value, self.client, self.request_id)
+
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not KVCommand:
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __hash__(self) -> int:
+        return hash(self._fields())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KVCommand(op={self.op!r}, key={self.key!r}, value={self.value!r}, "
+            f"client={self.client!r}, request_id={self.request_id!r})"
+        )
 
 
 class KVStateMachine:

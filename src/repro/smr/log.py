@@ -20,6 +20,7 @@ from repro.consensus.ballots import Ballot
 from repro.consensus.chains import ChainRunner
 from repro.consensus.messages import Decision
 from repro.consensus.protected_memory_paxos import PmpSlot
+from repro.mem.operations import WriteOp
 from repro.mem.permissions import Permission, exclusive_grab_policy
 from repro.mem.regions import RegionSpec
 from repro.sim.environment import ProcessEnv
@@ -29,20 +30,34 @@ SMR_REGION = "smr"
 SMR_TOPIC = "smr"
 
 
-@dataclass(frozen=True)
 class Batch:
     """An ordered group of commands committed by one consensus instance.
 
     Batching amortises the per-slot cost: a single two-delay Protected
     Memory Paxos instance carries ``len(batch)`` client commands, which the
     state machine then applies in order.  An empty batch is a legal no-op
-    filler (leader change, heartbeat).
+    filler (leader change, heartbeat).  A ``__slots__`` value object (one
+    per committed slot, and batches travel inside decision messages);
+    treat instances as immutable.
     """
 
-    commands: Tuple[Any, ...] = ()
+    __slots__ = ("commands",)
+    #: fields the crypto canonical encoder signs (see repro.crypto.signatures)
+    _signable_fields_ = ("commands",)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "commands", tuple(self.commands))
+    def __init__(self, commands: Tuple[Any, ...] = ()) -> None:
+        self.commands = tuple(commands)
+
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not Batch:
+            return NotImplemented
+        return self.commands == other.commands
+
+    def __hash__(self) -> int:
+        return hash(self.commands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Batch({self.commands!r})"
 
     def __len__(self) -> int:
         return len(self.commands)
@@ -157,8 +172,11 @@ class ReplicatedLog:
     def listener(self) -> Generator:
         """Learn commits broadcast by the leader."""
         env = self.env
+        # One reusable receive effect: the kernel only reads its fields, so
+        # the listener avoids an effect + sub-generator allocation per commit.
+        recv_commit = env.recv_effect(topic=self.topic)
         while True:
-            envelope = yield from env.recv(topic=self.topic)
+            envelope = yield recv_commit
             if envelope is None:
                 continue
             payload = envelope.payload
@@ -205,18 +223,34 @@ class ReplicatedLog:
             if my_value is None:
                 return
 
-        chains = ChainRunner(env, f"{self.region}2-{slot}")
+        # Phase 2: one slot write per memory, all leaving at this instant,
+        # leader resuming on a majority — two delays either way.
         slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
+        key = self._slot_key(slot, int(env.pid))
+        if env.strict_outstanding:
+            # Model-conformance mode: the one-outstanding rule is enforced
+            # per task per memory, and the proposer task is long-lived — a
+            # same-instant straggler write from slot N would still be in
+            # flight when slot N+1 invokes on that memory.  Run each write
+            # in its own throwaway chain task, as the takeover path does.
+            chains = ChainRunner(env, f"{self.region}2-{slot}")
 
-        def phase2(mid):
-            result = yield from env.write(
-                mid, self.region, self._slot_key(slot, int(env.pid)), slot_value
-            )
-            return result.ok
+            def phase2(mid):
+                result = yield from env.write(mid, self.region, key, slot_value)
+                return result.ok
 
-        yield from chains.launch(phase2)
-        yield from chains.wait_for(majority)
-        if any(not ok for ok in chains.results.values()):
+            yield from chains.launch(phase2)
+            yield from chains.wait_for(majority)
+            failed = any(not ok for ok in chains.results.values())
+        else:
+            # Hot path: issue the writes directly from the proposer task —
+            # no per-memory task spawn (a single write has no sequence to
+            # chain).
+            write_op = WriteOp(region=self.region, key=key, value=slot_value)
+            futures = yield from env.invoke_on_all(lambda mid: write_op)
+            yield env.wait(futures, count=majority)
+            failed = any(f.done and not f.ok for f in futures)
+        if failed:
             self.permissions_held = False  # somebody grabbed the region
             return
         self._commit(slot, my_value)

@@ -67,7 +67,6 @@ class OpStatus(enum.Enum):
         return self is OpStatus.ACK
 
 
-@dataclass(frozen=True)
 class OpResult:
     """Result of a memory operation.
 
@@ -75,14 +74,30 @@ class OpResult:
     contents (``BOTTOM`` when never written); for snapshot reads it carries a
     dict mapping register key to value; writes and permission changes carry
     ``None``.
+
+    One result is allocated per memory operation, so this is a hand-written
+    immutable ``__slots__`` class rather than a frozen dataclass, and ``ok``
+    is precomputed (quorum checks read it repeatedly).
     """
 
-    status: OpStatus
-    value: Any = None
+    __slots__ = ("status", "value", "ok")
 
-    @property
-    def ok(self) -> bool:
-        return self.status is OpStatus.ACK
+    def __init__(self, status: OpStatus, value: Any = None) -> None:
+        fill = object.__setattr__
+        fill(self, "status", status)
+        fill(self, "value", value)
+        fill(self, "ok", status is OpStatus.ACK)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"OpResult is immutable (tried to set {name!r})")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, OpResult):
+            return NotImplemented
+        return self.status is other.status and self.value == other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpResult(status={self.status!r}, value={self.value!r})"
 
 
 def process_name(pid: ProcessId) -> str:

@@ -66,6 +66,20 @@ class TestLinkEnforcement:
         with pytest.raises(SimulationError):
             kernel.run(until=10)
 
+    def test_post_init_toggle_is_enforced(self):
+        # _link_free_cluster flips the flag on an already-built kernel's
+        # config; the send path must read it live, not a cached copy.
+        kernel = make_kernel()
+        kernel.config.links_enabled = False
+        env = env_of(kernel, 0)
+
+        def gen():
+            yield env.send(1, "illegal", topic="t")
+
+        kernel.spawn(0, "g", gen())
+        with pytest.raises(SimulationError):
+            kernel.run(until=10)
+
     def test_default_model_allows_links(self):
         kernel = make_kernel()
         env = env_of(kernel, 0)

@@ -1,40 +1,131 @@
-"""Unit tests for the deterministic event queue."""
+"""Unit tests for the deterministic event queue and its typed entry format."""
+
+import random
 
 import pytest
 
-from repro.sim.event_queue import EventQueue
+from repro.sim.event_queue import (
+    EV_CALL,
+    EV_RESUME,
+    EV_WAKE,
+    EventQueue,
+)
 
 
 class TestOrdering:
     def test_pops_in_time_order(self):
         queue = EventQueue()
+        queue.push(3.0, EV_CALL, "c")
+        queue.push(1.0, EV_CALL, "a")
+        queue.push(2.0, EV_CALL, "b")
         order = []
-        queue.push(3.0, lambda: order.append("c"))
-        queue.push(1.0, lambda: order.append("a"))
-        queue.push(2.0, lambda: order.append("b"))
         while queue:
-            _, fn = queue.pop()
-            fn()
+            _time, _kind, a, _b, _c = queue.pop()
+            order.append(a)
         assert order == ["a", "b", "c"]
 
     def test_equal_times_are_fifo(self):
         queue = EventQueue()
-        order = []
         for i in range(50):
-            queue.push(1.0, lambda i=i: order.append(i))
-        while queue:
-            queue.pop()[1]()
-        assert order == list(range(50))
+            queue.push(1.0, EV_CALL, i)
+        assert [queue.pop()[2] for _ in range(50)] == list(range(50))
 
     def test_interleaved_push_pop(self):
         queue = EventQueue()
-        queue.push(1.0, lambda: None)
-        time, _ = queue.pop()
+        queue.push(1.0, EV_CALL)
+        time, _kind, _a, _b, _c = queue.pop()
         assert time == 1.0
-        queue.push(0.5, lambda: None)
-        queue.push(2.0, lambda: None)
+        queue.push(0.5, EV_CALL)
+        queue.push(2.0, EV_CALL)
         assert queue.pop()[0] == 0.5
         assert queue.pop()[0] == 2.0
+
+    def test_entry_carries_kind_and_operands(self):
+        queue = EventQueue()
+        queue.push(1.0, EV_WAKE, "task", 7, "value")
+        time, kind, a, b, c = queue.pop()
+        assert (time, kind, a, b, c) == (1.0, EV_WAKE, "task", 7, "value")
+
+    def test_operands_default_to_none(self):
+        queue = EventQueue()
+        queue.push(1.0, EV_CALL)
+        assert queue.pop() == (1.0, EV_CALL, None, None, None)
+
+    def test_payloads_never_compared(self):
+        # Tie-breaking must stop at (time, seq): payloads may be objects
+        # with no ordering at all.
+        queue = EventQueue()
+        queue.push(1.0, EV_CALL, object(), {"un": "orderable"})
+        queue.push(1.0, EV_CALL, object(), {"un": "orderable"})
+        queue.pop()
+        queue.pop()
+
+
+class TestFifoProperties:
+    """Property tests: FIFO tie-breaking survives arbitrary interleavings."""
+
+    def test_random_times_pop_sorted_with_fifo_ties(self):
+        rng = random.Random(1234)
+        queue = EventQueue()
+        stamps = []
+        for i in range(500):
+            time = float(rng.randrange(20))
+            stamps.append((time, i))
+            queue.push(time, EV_CALL, i)
+        popped = []
+        while queue:
+            time, _kind, i, _b, _c = queue.pop()
+            popped.append((time, i))
+        # Stable sort by time == heap order with FIFO tie-breaking.
+        assert popped == sorted(stamps, key=lambda entry: entry[0])
+
+    def test_fifo_holds_across_interleaved_push_pop(self):
+        rng = random.Random(99)
+        queue = EventQueue()
+        pushed = 0
+        popped = []
+        for _ in range(200):
+            for _ in range(rng.randrange(4)):
+                queue.push(5.0, EV_CALL, pushed)
+                pushed += 1
+            if queue and rng.random() < 0.5:
+                popped.append(queue.pop()[2])
+        while queue:
+            popped.append(queue.pop()[2])
+        assert popped == list(range(pushed))
+
+    def test_ready_lane_is_fifo_and_beats_heap(self):
+        queue = EventQueue()
+        queue.push(0.0, EV_CALL, "heap")
+        queue.push_ready(EV_RESUME, "r1")
+        queue.push_ready(EV_RESUME, "r2")
+        assert queue.pop_ready()[1] == "r1"
+        assert queue.pop_ready()[1] == "r2"
+        assert queue.pop()[2] == "heap"
+
+
+class TestReadyLane:
+    def test_ready_counts_in_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push_ready(EV_RESUME, "task")
+        assert queue
+        assert len(queue) == 1
+        assert queue.ready_count == 1
+        queue.push(1.0, EV_CALL)
+        assert len(queue) == 2
+
+    def test_ready_entry_shape(self):
+        queue = EventQueue()
+        queue.push_ready(EV_RESUME, "task", "value")
+        assert queue.pop_ready() == (EV_RESUME, "task", "value", None)
+
+    def test_ready_does_not_affect_peek_time(self):
+        queue = EventQueue()
+        queue.push_ready(EV_RESUME)
+        assert queue.peek_time() is None
+        queue.push(4.0, EV_CALL)
+        assert queue.peek_time() == 4.0
 
 
 class TestPeek:
@@ -43,15 +134,15 @@ class TestPeek:
 
     def test_peek_time_returns_earliest(self):
         queue = EventQueue()
-        queue.push(5.0, lambda: None)
-        queue.push(2.0, lambda: None)
+        queue.push(5.0, EV_CALL)
+        queue.push(2.0, EV_CALL)
         assert queue.peek_time() == 2.0
 
     def test_len_and_bool(self):
         queue = EventQueue()
         assert not queue
         assert len(queue) == 0
-        queue.push(1.0, lambda: None)
+        queue.push(1.0, EV_CALL)
         assert queue
         assert len(queue) == 1
 
@@ -59,16 +150,24 @@ class TestPeek:
 class TestValidation:
     def test_rejects_negative_time(self):
         with pytest.raises(ValueError):
-            EventQueue().push(-1.0, lambda: None)
+            EventQueue().push(-1.0, EV_CALL)
 
     def test_rejects_nan(self):
         with pytest.raises(ValueError):
-            EventQueue().push(float("nan"), lambda: None)
+            EventQueue().push(float("nan"), EV_CALL)
 
     def test_counters(self):
         queue = EventQueue()
-        queue.push(1.0, lambda: None)
-        queue.push(2.0, lambda: None)
+        queue.push(1.0, EV_CALL)
+        queue.push(2.0, EV_CALL)
         queue.pop()
+        assert queue.pushed == 2
+        assert queue.popped == 1
+
+    def test_counters_include_ready_lane(self):
+        queue = EventQueue()
+        queue.push(1.0, EV_CALL)
+        queue.push_ready(EV_RESUME)
+        queue.pop_ready()
         assert queue.pushed == 2
         assert queue.popped == 1

@@ -21,6 +21,44 @@ class TestNominal:
         assert model.memory_request_delay(0, 0, 0.0, rng) == 1.0
         assert model.memory_response_delay(0, 0, 0.0, rng) == 1.0
 
+    def test_declares_constant_delays(self):
+        # The kernel's fast path skips the method calls for these.
+        assert NominalLatency.constant_message_delay == 1.0
+        assert NominalLatency.constant_request_delay == 1.0
+        assert NominalLatency.constant_response_delay == 1.0
+
+    def test_subclass_override_drops_matching_constant(self):
+        # A NominalLatency subclass overriding one *_delay method must not
+        # inherit the constant for it, or the override would be ignored.
+        class SlowLinks(NominalLatency):
+            def message_delay(self, src, dst, now, rng):
+                return 10.0
+
+        assert SlowLinks.constant_message_delay is None
+        assert SlowLinks.constant_request_delay == 1.0
+        assert SlowLinks.constant_response_delay == 1.0
+
+    def test_subclass_override_takes_effect_in_kernel(self):
+        from tests.conftest import env_of, make_kernel, run_single
+
+        class SlowLinks(NominalLatency):
+            def message_delay(self, src, dst, now, rng):
+                return 10.0
+
+        kernel = make_kernel(latency=SlowLinks())
+        env0, env1 = env_of(kernel, 0), env_of(kernel, 1)
+
+        def sender():
+            yield env0.send(1, "ping", topic="t")
+
+        def receiver():
+            yield from env1.recv(topic="t")
+            return env1.now
+
+        kernel.spawn(0, "s", sender())
+        task = run_single(kernel, 1, receiver())
+        assert task.result == 10.0
+
 
 class TestJitter:
     def test_bounds(self):

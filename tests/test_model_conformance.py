@@ -63,6 +63,40 @@ class TestStrictOutstanding:
         result = _run_strict(ProtectedMemoryPaxos(), faults=faults)
         assert result.all_decided and result.agreed
 
+    def test_sharded_smr_conforms(self):
+        # Regression: the replicated log's steady-state phase 2 must stay
+        # one-outstanding conformant even though the proposer task is
+        # long-lived — a same-instant straggler write from slot N must not
+        # collide with slot N+1's write to the same memory.
+        from repro.shard import ClosedLoopClient, ShardConfig, ShardedKV, YCSB_A, ZipfianKeys
+
+        service = ShardedKV(ShardConfig(n_shards=2, batch_max=4, seed=5))
+        service.kernel.config.strict_outstanding = True
+        clients = [
+            ClosedLoopClient(client_id=i, n_ops=5, keys=ZipfianKeys(32), mix=YCSB_A)
+            for i in range(8)
+        ]
+        report = service.run_workload(clients)
+        assert report.completed_requests == 40
+
+    def test_sharded_smr_conforms_with_memory_crash(self):
+        # Under strict enforcement a crashed memory's hung write must not
+        # poison later slots' bookkeeping for that memory.
+        from repro.shard import ClosedLoopClient, ShardConfig, ShardedKV, YCSB_A, ZipfianKeys
+        from repro.types import MemoryId
+
+        service = ShardedKV(ShardConfig(n_shards=2, batch_max=4, seed=5))
+        service.kernel.config.strict_outstanding = True
+        service.kernel.call_at(
+            6.0, lambda: service.kernel.crash_memory(MemoryId(2))
+        )
+        clients = [
+            ClosedLoopClient(client_id=i, n_ops=5, keys=ZipfianKeys(32), mix=YCSB_A)
+            for i in range(8)
+        ]
+        report = service.run_workload(clients)
+        assert report.completed_requests == 40
+
 
 class TestRunSummary:
     def test_summary_mentions_everything(self):
