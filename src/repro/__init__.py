@@ -52,6 +52,8 @@ from repro.failures.byzantine import (
     SlotRewriter,
 )
 from repro.failures.plans import FaultPlan
+from repro.failures.script import FaultScript
+from repro.sim.faults import LinkFault
 from repro.shard import (
     ClosedLoopClient,
     ConsistentHashPartitioner,
@@ -111,8 +113,10 @@ __all__ = [
     "FastRobust",
     "FastRobustConfig",
     "FaultPlan",
+    "FaultScript",
     "JitteredSynchrony",
     "KVCommand",
+    "LinkFault",
     "KVStateMachine",
     "MessagePaxos",
     "MultiGroupCluster",

@@ -98,6 +98,11 @@ class AlignedNode:
             env, DirectTransport(env, topic=TOPIC), value, config=paxos_config
         )
         self.first_attempt = True
+        #: restarted-after-crash mode (see PmpNode.recovering): propose
+        #: regardless of Ω until decided, and keep the node's own memory
+        #: slot adoptable during phase 1 — it may hold the only surviving
+        #: copy of the previous incarnation's committed value
+        self.recovering = False
 
     # ------------------------------------------------------------------
     @property
@@ -110,7 +115,7 @@ class AlignedNode:
     def proposer(self) -> Generator:
         env = self.env
         while not self.decided:
-            if env.leader() != env.pid:
+            if not self.recovering and env.leader() != env.pid:
                 yield env.gate_wait(self.node.wake, timeout=self.config.leader_poll)
                 continue
             yield from self._attempt()
@@ -156,11 +161,18 @@ class AlignedNode:
         chains = ChainRunner(env, f"ap1-{ballot.round}", gate=node.wake)
         grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
         probe = PmpSlot(min_prop=ballot, acc_prop=None, value=BOTTOM)
+        # A recovering node publishes its ballot under a reserved boot key:
+        # its own value slot may hold the previous incarnation's committed
+        # value and must stay intact and adoptable (see PmpNode._prepare_phase).
+        if self.recovering:
+            probe_key = (REGION, "boot", int(env.pid))
+        else:
+            probe_key = (REGION, int(env.pid))
 
         def chain(mid):
             if protected:
                 yield from env.change_permission(mid, REGION, grab)
-            write = yield from env.write(mid, REGION, (REGION, int(env.pid)), probe)
+            write = yield from env.write(mid, REGION, probe_key, probe)
             if not write.ok:
                 return _ChainResult(ok=False)
             snap = yield from env.snapshot(mid, REGION, (REGION,))
@@ -186,7 +198,7 @@ class AlignedNode:
         best: Optional[Tuple[Ballot, Any]] = None
         for result in chains.results.values():
             for key, slot in (result.view or {}).items():
-                if key == (REGION, int(env.pid)) or not isinstance(slot, PmpSlot):
+                if key == probe_key or not isinstance(slot, PmpSlot):
                     continue
                 node.highest_seen = max(node.highest_seen, slot.min_prop)
                 if slot.min_prop > ballot:
@@ -267,4 +279,18 @@ class AlignedPaxos(ConsensusProtocol):
 
     def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
         node = AlignedNode(env, value, self.config)
+        return [("ap-pump", node.pump()), ("ap-proposer", node.proposer())]
+
+    def recovery_tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        """Restart after a crash: same rules as Protected Memory Paxos.
+
+        Never skip phase 1 (the first-attempt skip is only sound at boot),
+        probe a reserved boot key so the previous incarnation's slot stays
+        intact and adoptable, and propose regardless of Ω — a restarted
+        node may have missed the one-shot decision broadcast, and the
+        combined memory/process prepare is its sound way back.
+        """
+        node = AlignedNode(env, value, self.config)
+        node.first_attempt = False
+        node.recovering = True
         return [("ap-pump", node.pump()), ("ap-proposer", node.proposer())]

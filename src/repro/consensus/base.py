@@ -43,6 +43,18 @@ class ConsensusProtocol(ABC):
     def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
         """The generator tasks one correct process runs, given its input."""
 
+    def recovery_tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        """Tasks a process runs when it restarts after a crash.
+
+        A restarted process has lost its volatile state and must rebuild it
+        from the shared memories.  The default is a fresh start with the
+        original input; protocols whose fresh start takes shortcuts that
+        are only sound the *first* time (e.g. Protected Memory Paxos'
+        first-attempt prepare skip) override this to force the full
+        recovery path.
+        """
+        return self.tasks(env, value)
+
 
 class Transport(ABC):
     """Uniform send/receive interface for message-passing protocols."""

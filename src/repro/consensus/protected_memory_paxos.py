@@ -90,6 +90,12 @@ class PmpNode:
         self.decided = False
         self.decided_value: Any = None
         self.first_attempt = True
+        #: restarted-after-crash mode: propose regardless of Ω until decided.
+        #: A recovered node may have missed the (one-shot) decision
+        #: broadcast, and Ω will never point at it while a stable leader is
+        #: alive — so its only sound path to the decided value is through
+        #: the memories: a full prepare adopts whatever was committed.
+        self.recovering = False
 
     # ------------------------------------------------------------------
     def listener(self) -> Generator:
@@ -110,7 +116,7 @@ class PmpNode:
     def proposer(self) -> Generator:
         env = self.env
         while not self.decided:
-            if env.leader() != env.pid:
+            if not self.recovering and env.leader() != env.pid:
                 yield env.sleep(self.config.leader_poll)
                 continue
             yield from self._attempt()
@@ -158,15 +164,26 @@ class PmpNode:
         """Grab permissions, publish prop_nr, read every slot.
 
         Returns the value to propose, or None to restart.
+
+        The ballot-publishing probe normally lands on this process's own
+        value slot (which is then excluded from adoption — it only holds
+        the probe).  A *recovering* node must not do that: its own slot may
+        hold its previous incarnation's committed value — possibly the only
+        surviving copy — so recovery probes a reserved boot key instead and
+        keeps its own slot adoptable.
         """
         env = self.env
         chains = ChainRunner(env, "pmp1")
         grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
         probe_slot = PmpSlot(min_prop=prop_nr, acc_prop=None, value=BOTTOM)
+        if self.recovering:
+            probe_key = (REGION, "boot", int(env.pid))
+        else:
+            probe_key = (REGION, int(env.pid))
 
         def phase1_chain(mid):
             yield from env.change_permission(mid, REGION, grab)
-            write = yield from env.write(mid, REGION, (REGION, int(env.pid)), probe_slot)
+            write = yield from env.write(mid, REGION, probe_key, probe_slot)
             if not write.ok:
                 return _ChainResult(write_ok=False, view=None)
             snap = yield from env.snapshot(mid, REGION, (REGION,))
@@ -182,7 +199,7 @@ class PmpNode:
             if result.view is None:
                 return None
             for key, slot in result.view.items():
-                if not isinstance(slot, PmpSlot) or key == (REGION, int(env.pid)):
+                if not isinstance(slot, PmpSlot) or key == probe_key:
                     continue
                 self.highest_seen = max(self.highest_seen, slot.min_prop)
                 if slot.min_prop > prop_nr:
@@ -206,4 +223,22 @@ class ProtectedMemoryPaxos(ConsensusProtocol):
 
     def tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
         node = PmpNode(env, value, self.config)
+        return [("pmp-listener", node.listener()), ("pmp-proposer", node.proposer())]
+
+    def recovery_tasks(self, env: ProcessEnv, value: Any) -> List[Tuple[str, Generator]]:
+        """Restart after a crash: never skip the prepare phase.
+
+        The Theorem D.5 first-attempt skip is sound only when the leader
+        *knows* nothing was committed before its write — true at boot,
+        false after a crash: the previous incarnation (or another leader
+        whose permission grab the restarted process has forgotten) may have
+        committed a value this process must adopt, so the first attempt
+        must run the full takeover read.  The node also proposes regardless
+        of Ω (``recovering``): a restarted follower missed the one-shot
+        decision broadcast, and the takeover read is its only sound way to
+        learn the committed value.
+        """
+        node = PmpNode(env, value, self.config)
+        node.first_attempt = False
+        node.recovering = True
         return [("pmp-listener", node.listener()), ("pmp-proposer", node.proposer())]

@@ -114,23 +114,26 @@ class RunResult:
         return "\n".join(lines)
 
 
-class Cluster:
-    """A configured kernel plus protocol wiring, ready to run."""
+class ClusterBase:
+    """Shared kernel assembly of both cluster runners.
+
+    Owns everything :class:`Cluster` and :class:`MultiGroupCluster` used to
+    duplicate: fault validation (plans *and* event-driven FaultScripts —
+    both expose ``validate``/``install``/``byzantine``/``faulty_processes``),
+    the ``ClusterConfig`` → :class:`SimConfig` translation, kernel
+    construction from a region list, per-process environment caching, and
+    idempotent fault installation.
+    """
 
     def __init__(
         self,
-        protocol: ConsensusProtocol,
         config: ClusterConfig,
-        faults: Optional[FaultPlan] = None,
+        regions: Sequence[RegionSpec],
+        faults: Optional[Any] = None,
     ) -> None:
-        self.protocol = protocol
         self.config = config
-        self.faults = faults or FaultPlan()
+        self.faults = faults if faults is not None else FaultPlan()
         self.faults.validate(config.n_processes, config.n_memories)
-
-        layout = MemoryLayout(
-            list(protocol.regions(config.n_processes, config.n_memories))
-        )
         sim_config = SimConfig(
             n_processes=config.n_processes,
             n_memories=config.n_memories,
@@ -140,13 +143,38 @@ class Cluster:
             strict_safety=config.strict_safety,
             omega=config.omega,
         )
-        self.kernel = Kernel(sim_config, layout)
+        self.kernel = Kernel(sim_config, MemoryLayout(list(regions)))
         self.envs: Dict[int, ProcessEnv] = {}
+        self._faults_installed = False
 
     def env_for(self, pid: int) -> ProcessEnv:
         if pid not in self.envs:
             self.envs[pid] = ProcessEnv(self.kernel, ProcessId(pid))
         return self.envs[pid]
+
+    def install_faults(self) -> None:
+        """Arm the fault timeline on the kernel (once)."""
+        if not self._faults_installed:
+            self.faults.install(self.kernel)
+            self._faults_installed = True
+
+
+class Cluster(ClusterBase):
+    """A configured kernel plus protocol wiring, ready to run."""
+
+    def __init__(
+        self,
+        protocol: ConsensusProtocol,
+        config: ClusterConfig,
+        faults: Optional[Any] = None,
+    ) -> None:
+        self.protocol = protocol
+        super().__init__(
+            config,
+            protocol.regions(config.n_processes, config.n_memories),
+            faults,
+        )
+        self._inputs: Optional[List[Any]] = None
 
     def start(self, inputs: Sequence[Any]) -> None:
         """Install faults and spawn every process's tasks."""
@@ -154,7 +182,9 @@ class Cluster:
             raise ConfigurationError(
                 f"need {self.config.n_processes} inputs, got {len(inputs)}"
             )
-        self.faults.install(self.kernel)
+        self._inputs = list(inputs)
+        self.install_faults()
+        self.kernel.failures.on_recover(self._respawn)
         for pid in range(self.config.n_processes):
             env = self.env_for(pid)
             strategy = self.faults.byzantine.get(pid)
@@ -166,8 +196,31 @@ class Cluster:
             for name, gen in tasks:
                 self.kernel.spawn(pid, name, gen)
 
+    def _respawn(self, pid: ProcessId) -> None:
+        """Recovery hook: restart this process's protocol tasks.
+
+        The restarted tasks get the process's original input; everything
+        else is rebuilt from the shared memories by the protocol's recovery
+        path (``recovery_tasks``), so a recovered leader re-adopts whatever
+        was committed while it was down.
+        """
+        if self._inputs is None:
+            return
+        pid = int(pid)
+        if pid in self.faults.byzantine:
+            return  # Byzantine seats have no honest state to recover
+        env = self.env_for(pid)
+        env.mark_proposed()
+        for name, gen in self.protocol.recovery_tasks(env, self._inputs[pid]):
+            self.kernel.spawn(pid, name, gen)
+
     def run(self, inputs: Sequence[Any]) -> RunResult:
-        """Start and run until all correct live processes decide (or deadline)."""
+        """Start and run until all correct live processes decide (or deadline).
+
+        Processes that crash *and recover* during the run are expected to
+        decide too — only never-recovered crashes and Byzantine seats are
+        exempt (``faults.faulty_processes`` reports end-of-run state).
+        """
         self.start(inputs)
         expect: Set[ProcessId] = {
             ProcessId(p)
@@ -183,43 +236,16 @@ class Cluster:
         )
 
 
-class MultiGroupCluster:
+class MultiGroupCluster(ClusterBase):
     """One kernel hosting several independent protocol groups.
 
     The single-protocol :class:`Cluster` derives its memory layout from one
     protocol's regions; a sharded service instead lays out the union of
     every group's regions (each namespaced, so groups never interfere) and
-    spawns whatever task mix it needs per process.  This helper owns that
-    assembly: kernel construction, per-process environments, task spawning
-    and a goal-driven run loop.
+    spawns whatever task mix it needs per process — including re-spawning
+    it per process on recovery, via hooks the service registers with the
+    kernel's failure controller.
     """
-
-    def __init__(
-        self,
-        config: ClusterConfig,
-        regions: Sequence[RegionSpec],
-        faults: Optional[FaultPlan] = None,
-    ) -> None:
-        self.config = config
-        self.faults = faults or FaultPlan()
-        self.faults.validate(config.n_processes, config.n_memories)
-        sim_config = SimConfig(
-            n_processes=config.n_processes,
-            n_memories=config.n_memories,
-            latency=config.latency,
-            seed=config.seed,
-            trace=config.trace,
-            strict_safety=config.strict_safety,
-            omega=config.omega,
-        )
-        self.kernel = Kernel(sim_config, MemoryLayout(list(regions)))
-        self.envs: Dict[int, ProcessEnv] = {}
-        self._started = False
-
-    def env_for(self, pid: int) -> ProcessEnv:
-        if pid not in self.envs:
-            self.envs[pid] = ProcessEnv(self.kernel, ProcessId(pid))
-        return self.envs[pid]
 
     def spawn(self, pid: int, name: str, gen: Generator, daemon: bool = True) -> Task:
         """Register one task of process *pid*; returns the kernel task."""
@@ -231,9 +257,7 @@ class MultiGroupCluster:
         deadline: Optional[float] = None,
     ) -> bool:
         """Install faults, run until *goal* (or deadline); True on success."""
-        if not self._started:
-            self.faults.install(self.kernel)
-            self._started = True
+        self.install_faults()
         self.kernel.run(
             until=self.config.deadline if deadline is None else deadline,
             stop_when=goal,

@@ -14,11 +14,14 @@ from repro.consensus.aligned_paxos import AlignedConfig, AlignedPaxos
 from repro.consensus.base import ConsensusProtocol
 from repro.consensus.cheap_quorum import CheapQuorumConfig
 from repro.consensus.fast_robust import FastRobust, FastRobustConfig
-from repro.consensus.omega import crash_aware_omega
+from repro.consensus.omega import crash_aware_omega, leader_schedule
+from repro.consensus.protected_memory_paxos import REGION as PMP_REGION
 from repro.consensus.protected_memory_paxos import ProtectedMemoryPaxos
 from repro.core.cluster import Cluster, ClusterConfig
+from repro.errors import ConfigurationError
 from repro.failures.byzantine import ByzantineStrategy
 from repro.failures.plans import FaultPlan
+from repro.failures.script import FaultScript
 from repro.sim.latency import LatencyModel, NominalLatency, PartialSynchrony
 
 
@@ -115,6 +118,134 @@ def mixed_agent_crashes(
         AlignedPaxos(AlignedConfig(variant=variant)),
         ClusterConfig(n_processes, n_memories, seed=seed, deadline=30_000),
         faults,
+    )
+    cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+    return cluster
+
+
+def partition_minority(
+    protocol: Optional[ConsensusProtocol] = None,
+    partition_at: float = 1.0,
+    heal_at: float = 25.0,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """Partition the minority away, then heal; everybody still decides.
+
+    While partitioned, the minority hears nothing: the majority's decision
+    broadcasts drop on the severed links.  After the heal, Ω hands the
+    minority leadership and it rejoins through the *memories* — the full
+    permission-takeover read adopts the committed value (a partition severs
+    process links, not RDMA access), so the minority decides the same value
+    without any process ever re-sending a message.
+    """
+    if n_processes < 3:
+        raise ConfigurationError(
+            "partition_minority needs n_processes >= 3 (a 2-process system "
+            "has no minority to cut off)"
+        )
+    protocol = protocol or ProtectedMemoryPaxos()
+    minority = set(range(n_processes // 2 + 1, n_processes))
+    majority = set(range(n_processes // 2 + 1))
+    script = FaultScript()
+    script.at(partition_at).partition(majority, minority).heal(at=heal_at)
+    cluster = Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=60_000),
+        script,
+    )
+    cluster.kernel.omega = leader_schedule([(0.0, 0), (heal_at, min(minority))])
+    return cluster
+
+
+def crash_recover_leader(
+    protocol: Optional[ConsensusProtocol] = None,
+    crash_at: float = 1.0,
+    recover_at: float = 30.0,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """The initial leader crashes mid-attempt and later comes back.
+
+    While it is down, Ω moves on and a successor finishes via the
+    permission takeover.  The recovered leader restarts with empty state,
+    re-runs the full prepare (recovery never skips it), adopts whatever
+    was committed in its absence, and decides the same value — the
+    Protected Memory Paxos permission handoff, exercised in both
+    directions.
+    """
+    protocol = protocol or ProtectedMemoryPaxos()
+    script = FaultScript()
+    script.at(crash_at).crash_process(0).recover(at=recover_at)
+    cluster = Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=60_000),
+        script,
+    )
+    cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+    return cluster
+
+
+def permission_storm(
+    protocol: Optional[ConsensusProtocol] = None,
+    storm_at: float = 0.5,
+    shots: int = 6,
+    spacing: float = 1.5,
+    storm_pid: int = 2,
+    region: str = PMP_REGION,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """An adversary hammers ``changePermission`` while the leader commits.
+
+    Each shot legally grabs exclusive write for *storm_pid* (the takeover
+    shape PMP's ``legalChange`` must allow), NAK-ing the leader's in-flight
+    writes and forcing it back through prepare — over and over, until the
+    storm ends and the leader out-retries it.  Decides despite the churn;
+    the fault timeline records every grab and its ACK/NAK.
+    """
+    protocol = protocol or ProtectedMemoryPaxos()
+    script = FaultScript()
+    script.at(storm_at).permission_storm(
+        pid=storm_pid, region=region, shots=shots, spacing=spacing
+    )
+    return Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=60_000),
+        script,
+    )
+
+
+def rolling_restart(
+    protocol: Optional[ConsensusProtocol] = None,
+    first_at: float = 1.0,
+    period: float = 16.0,
+    n_processes: int = 3,
+    n_memories: int = 3,
+    seed: int = 0,
+) -> Cluster:
+    """Crash and recover every process in sequence, one down at a time.
+
+    The maintenance-window scenario: each process is down for half a
+    period, with Ω tracking the survivors.  Decisions taken before a
+    restart stay decided (the ledger enforces irrevocability); restarted
+    processes re-adopt them from the memories.  ``cluster.run`` stops once
+    everybody decided — drive the kernel past the full window
+    (``cluster.start(...); cluster.kernel.run(until=...)``) to exercise
+    every restart.
+    """
+    protocol = protocol or ProtectedMemoryPaxos()
+    script = FaultScript()
+    for pid in range(n_processes):
+        down = first_at + pid * period
+        script.at(down).crash_process(pid).recover(at=down + period / 2)
+    cluster = Cluster(
+        protocol,
+        ClusterConfig(n_processes, n_memories, seed=seed, deadline=120_000),
+        script,
     )
     cluster.kernel.omega = crash_aware_omega(cluster.kernel)
     return cluster

@@ -11,12 +11,16 @@ from repro.failures.byzantine import (
     SlotRewriter,
 )
 from repro.failures.plans import FaultPlan
+from repro.failures.script import FaultScript
+from repro.sim.faults import LinkFault
 
 __all__ = [
     "ByzantineStrategy",
     "CheapQuorumEquivocatorLeader",
     "EquivocatingBroadcaster",
     "FaultPlan",
+    "FaultScript",
+    "LinkFault",
     "PaxosValueLiar",
     "PermissionAbuser",
     "ProofForger",

@@ -4,6 +4,12 @@ A :class:`FaultPlan` is declarative; :meth:`install` arms it on a kernel.
 Byzantine processes are marked here (exempting them from the agreement
 checker); their strategies are installed by the cluster runner, which
 spawns the strategy's tasks instead of the protocol's.
+
+FaultPlan is now the *static* corner of the failure plane: crash-at-time
+and statically Byzantine seats only.  It compiles to the same typed fault
+events as the full event-driven timeline — recovery, partitions, link
+chaos, permission storms live in :class:`~repro.failures.script.FaultScript`
+(``plan.to_script()`` lifts a plan into one).
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.sim.faults import CrashMemory, CrashProcess
 
 
 @dataclass
@@ -55,10 +62,30 @@ class FaultPlan:
             )
 
     def install(self, kernel) -> None:
-        """Arm crash timers and mark Byzantine processes on *kernel*."""
+        """Arm crash timers and mark Byzantine processes on *kernel*.
+
+        Crashes are scheduled as typed fault-timer queue entries (one
+        ``EV_FAULT`` event each), consistent with the kernel's closure-free
+        event queue — no per-fault lambda is allocated.
+        """
         for pid, at in self.process_crashes.items():
-            kernel.call_at(at, lambda p=pid: kernel.crash_process(p))
+            kernel.schedule_fault(at, CrashProcess(pid))
         for mid, at in self.memory_crashes.items():
-            kernel.call_at(at, lambda m=mid: kernel.crash_memory(m))
+            kernel.schedule_fault(at, CrashMemory(mid))
         for pid in self.byzantine:
             kernel.mark_byzantine(pid)
+
+    def to_script(self):
+        """Lift this static plan into an equivalent event-driven
+        :class:`~repro.failures.script.FaultScript` (for composing recovery
+        or partitions on top of an existing plan)."""
+        from repro.failures.script import FaultScript
+
+        script = FaultScript()
+        for pid, at in self.process_crashes.items():
+            script.at(at).crash_process(pid)
+        for mid, at in self.memory_crashes.items():
+            script.at(at).crash_memory(mid)
+        for pid, strategy in self.byzantine.items():
+            script.make_byzantine(pid, strategy)
+        return script

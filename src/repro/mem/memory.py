@@ -79,6 +79,22 @@ class Memory:
         """Crash this memory; subsequent operations hang (kernel drops them)."""
         self.crashed = True
 
+    def recover(self, wipe: bool = False) -> None:
+        """Revive this memory; operations resolve again from now on.
+
+        Without *wipe* the regions come back intact — registers and
+        permission state exactly as they were at the crash (the memory was
+        merely unreachable).  With *wipe* the revival models replacing the
+        hardware: registers are cleared and every region's permission is
+        reset to its initial declaration.
+        """
+        self.crashed = False
+        if wipe:
+            self.registers.clear()
+            self.permissions = {
+                spec.region_id: spec.initial_permission for spec in self.layout.regions
+            }
+
     # ------------------------------------------------------------------
     # operation processing
     # ------------------------------------------------------------------

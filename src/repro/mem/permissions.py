@@ -44,6 +44,14 @@ class Permission:
         """True if *pid* has write permission (member of W or RW)."""
         return pid in self.write or pid in self.readwrite
 
+    def summary(self) -> str:
+        """Compact ``r:.. w:.. rw:..`` rendering for traces and timelines."""
+
+        def names(processes: frozenset) -> str:
+            return ",".join(f"p{int(p) + 1}" for p in sorted(processes)) or "-"
+
+        return f"r:{names(self.read)} w:{names(self.write)} rw:{names(self.readwrite)}"
+
     @staticmethod
     def swmr(owner: int, all_processes: Iterable[int]) -> "Permission":
         """Single-Writer Multi-Reader permission: ``R = P \\ {p}, RW = {p}``."""
@@ -97,6 +105,17 @@ def revoke_only_policy(target: Permission) -> LegalChangeFn:
         return new == target
 
     return policy
+
+
+def adversarial_grab(pid: ProcessId, n_processes: int) -> Permission:
+    """The permission-storm default request: exclusive write for *pid*.
+
+    This is the one shape :func:`exclusive_grab_policy` accepts, so a storm
+    of these against a Protected-Memory-Paxos region is a *legal* takeover
+    barrage — the paper's permission-churn adversary, which the leader must
+    out-retry rather than out-law.
+    """
+    return Permission.exclusive_writer(int(pid), range(n_processes))
 
 
 def exclusive_grab_policy(all_processes: Iterable[int]) -> LegalChangeFn:

@@ -45,6 +45,24 @@ class DecisionRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One executed fault event on the run's timeline.
+
+    ``kind`` is the controller's vocabulary (``crash_proc``,
+    ``recover_proc``, ``crash_mem``, ``recover_mem``, ``partition``,
+    ``heal``, ``link_chaos``, ``link_clear``, ``perm_change``); ``subject``
+    names the affected process/memory/link, and ``detail`` carries
+    kind-specific extras (e.g. the requested permission shape and whether
+    the memory ACKed it).
+    """
+
+    time: float
+    kind: str
+    subject: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
 class MetricsLedger:
     """Counters and records accumulated by one simulation."""
 
@@ -62,6 +80,10 @@ class MetricsLedger:
     #: processes whose decisions are exempt from the agreement check
     #: (declared Byzantine by the failure plan)
     byzantine: set = field(default_factory=set)
+    #: every fault event the failure controller executed, in time order —
+    #: benchmarks join this against decision/commit times to plot recovery
+    #: latency under a scripted churn schedule
+    fault_timeline: List[FaultRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
@@ -121,6 +143,31 @@ class MetricsLedger:
         self.violations.append(description)
         if self.strict_safety:
             raise AgreementViolation(description)
+
+    def record_fault(self, time: float, kind: str, subject: str, **detail: Any) -> None:
+        """Append one executed fault event to the timeline."""
+        self.fault_timeline.append(FaultRecord(time, kind, subject, detail))
+
+    def faults_of(self, kind: str) -> List[FaultRecord]:
+        """All timeline entries of one fault *kind*, in execution order."""
+        return [record for record in self.fault_timeline if record.kind == kind]
+
+    def downtime_spans(self, subject: str) -> List[tuple]:
+        """``(down_at, up_at)`` spans for one subject (``up_at`` None while
+        still down at the end of the run) — the x-axis of recovery plots."""
+        spans: List[tuple] = []
+        down: Optional[float] = None
+        for record in self.fault_timeline:
+            if record.subject != subject:
+                continue
+            if record.kind in ("crash_proc", "crash_mem") and down is None:
+                down = record.time
+            elif record.kind in ("recover_proc", "recover_mem") and down is not None:
+                spans.append((down, record.time))
+                down = None
+        if down is not None:
+            spans.append((down, None))
+        return spans
 
     # ------------------------------------------------------------------
     # counters

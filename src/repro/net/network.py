@@ -60,7 +60,19 @@ class RecvWaiter:
 
 
 class Network:
-    """Per-process inboxes plus parked receivers."""
+    """Per-process inboxes plus parked receivers.
+
+    The network also carries the failure plane's link state, read on the
+    kernel's delivery/send paths and mutated by the failure controller:
+
+    * ``blocked`` — ordered ``(src, dst)`` pairs severed by the current
+      partition; delivery across a blocked pair silently drops (messages
+      already in flight when the partition lands are lost too);
+    * ``link_faults`` — per-directed-link chaos filters (delay inflation,
+      probabilistic drop/duplication), applied on the send path.
+
+    Both start empty, so the fault-free hot path pays one truthiness check.
+    """
 
     def __init__(self, n_processes: int) -> None:
         self.inboxes: Dict[ProcessId, Deque[Envelope]] = {
@@ -71,6 +83,12 @@ class Network:
         }
         self._delivered_ids: Set[int] = set()
         self.dropped: int = 0
+        #: (src, dst) pairs currently severed by a partition
+        self.blocked: Set[tuple] = set()
+        #: (src, dst) -> chaos filter (see repro.sim.faults.LinkFault)
+        self.link_faults: Dict[tuple, Any] = {}
+        self.partition_dropped: int = 0
+        self.chaos_dropped: int = 0
 
     # ------------------------------------------------------------------
     # delivery path (called by the kernel at arrival time)
@@ -134,6 +152,24 @@ class Network:
     # ------------------------------------------------------------------
     # failure handling
     # ------------------------------------------------------------------
+    def set_partition(self, groups) -> None:
+        """Install reachability *groups*: delivery between distinct groups
+        drops until :meth:`heal_partition`.  Replaces any prior partition;
+        processes named in no group keep full connectivity."""
+        blocked = set()
+        groups = [frozenset(int(p) for p in group) for group in groups]
+        for i, side in enumerate(groups):
+            for other in groups[i + 1:]:
+                for p in side:
+                    for q in other:
+                        blocked.add((p, q))
+                        blocked.add((q, p))
+        self.blocked = blocked
+
+    def heal_partition(self) -> None:
+        """Dissolve the partition: full reachability restored."""
+        self.blocked = set()
+
     def drop_process(self, pid: ProcessId) -> None:
         """Discard a crashed process's inbox and waiters."""
         self.inboxes[pid].clear()

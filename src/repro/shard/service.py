@@ -71,6 +71,10 @@ class ShardConfig:
     #: per-BFT-shard slot cap (slot regions are declared up front)
     bft_max_slots: int = 8
     bft_leader_timeout: float = 50.0
+    #: fault timeline (FaultScript) or static plan (FaultPlan) to install;
+    #: process crash/recover events target shards through their leader —
+    #: one shard can churn while the untouched shards keep serving
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -131,8 +135,19 @@ class ShardedKV:
                 deadline=cfg.deadline,
             ),
             regions,
+            faults=cfg.faults,
         )
         self.kernel = self.cluster.kernel
+        # Per-shard fault targeting: when a process crashes its led shards
+        # stall (queued commands die with it) and when it recovers, fresh
+        # replica state is rebuilt per shard — crash-tolerant shards only;
+        # a BFT replica that crashes stays down (Fast & Robust has no
+        # recovery protocol, and its slot regions are single-use).
+        self.kernel.failures.on_crash(self._on_process_crash)
+        self.kernel.failures.on_recover(self._respawn_process)
+        #: processes that crashed at least once — their (unrecoverable) BFT
+        #: replicas are exempt from the convergence goal
+        self._ever_crashed: set = set()
 
         #: leader-side pending commands, one queue per shard
         self.queues: Dict[int, Deque[KVCommand]] = {
@@ -169,6 +184,11 @@ class ShardedKV:
         """Static per-shard leader: groups round-robin across processes."""
         return shard % self.config.n_processes
 
+    def shards_led_by(self, pid: int) -> List[int]:
+        """The shards whose leader runs on *pid* (fault-targeting helper:
+        crashing *pid* churns exactly these shards)."""
+        return [g for g in range(self.config.n_shards) if self.leader_of(g) == pid]
+
     def _cq_ns(self, shard: int, slot: int) -> str:
         return f"g{shard}cq{slot}"
 
@@ -190,32 +210,47 @@ class ShardedKV:
         for g in range(cfg.n_shards):
             leader = self.leader_of(g)
             for pid in range(cfg.n_processes):
-                env = self.cluster.env_for(pid)
-                machine = KVStateMachine()
-                self.machines[(pid, g)] = machine
                 if g in cfg.bft_shards:
+                    env = self.cluster.env_for(pid)
+                    machine = KVStateMachine()
+                    self.machines[(pid, g)] = machine
                     self.cluster.spawn(
                         pid, f"g{g}-bft-p{pid+1}", self._bft_driver(g, env, machine)
                     )
-                else:
-                    log = ReplicatedLog(
-                        env,
-                        self._make_apply(pid, g, machine),
-                        SmrConfig(
-                            initial_leader=leader,
-                            region=shard_region(g),
-                            topic=shard_region(g),
-                        ),
-                        leader_fn=lambda g=g: self.leader_of(g),
-                    )
-                    self.logs[(pid, g)] = log
-                    self.cluster.spawn(pid, f"g{g}-listen-p{pid+1}", log.listener())
                     if pid == leader:
-                        self.cluster.spawn(
-                            pid, f"g{g}-propose", self._proposer(g, env, log)
-                        )
-                if pid == leader:
-                    self.cluster.spawn(pid, f"g{g}-accept", self._acceptor(g, env))
+                        self.cluster.spawn(pid, f"g{g}-accept", self._acceptor(g, env))
+                else:
+                    self._spawn_pmp_replica(pid, g)
+
+    def _spawn_pmp_replica(self, pid: int, shard: int, recovered: bool = False) -> None:
+        """Assemble one crash-tolerant replica of *shard* on *pid*: state
+        machine, log, and the task set its role needs.  Serves both boot
+        (``_spawn_replicas``) and crash recovery (``_respawn_process``,
+        with ``recovered=True``: the log re-prepares instead of assuming
+        permissions, and followers pull the committed prefix)."""
+        leader = self.leader_of(shard)
+        env = self.cluster.env_for(pid)
+        machine = KVStateMachine()
+        self.machines[(pid, shard)] = machine
+        log = ReplicatedLog(
+            env,
+            self._make_apply(pid, shard, machine),
+            SmrConfig(
+                initial_leader=leader,
+                region=shard_region(shard),
+                topic=shard_region(shard),
+            ),
+            leader_fn=lambda g=shard: self.leader_of(g),
+            recovered=recovered,
+        )
+        self.logs[(pid, shard)] = log
+        self.cluster.spawn(pid, f"g{shard}-listen-p{pid+1}", log.listener())
+        self.cluster.spawn(pid, f"g{shard}-sync-p{pid+1}", log.sync_server())
+        if pid == leader:
+            self.cluster.spawn(pid, f"g{shard}-propose", self._proposer(shard, env, log))
+            self.cluster.spawn(pid, f"g{shard}-accept", self._acceptor(shard, env))
+        elif recovered:
+            self.cluster.spawn(pid, f"g{shard}-catchup-p{pid+1}", log.catchup())
 
     def _make_apply(self, pid: int, shard: int, machine: KVStateMachine):
         """Apply committed entries and answer this process's waiting clients."""
@@ -268,8 +303,15 @@ class ShardedKV:
         return tuple(batch)
 
     def _proposer(self, shard: int, env, log: ReplicatedLog) -> Generator:
-        """Leader loop of a crash-tolerant shard: drain, batch, commit."""
-        slot = 0
+        """Leader loop of a crash-tolerant shard: drain, batch, commit.
+
+        A restarted leader (``recovered`` log: permissions not assumed)
+        first re-runs the takeover prepare and re-commits every previously
+        accepted slot before serving new traffic.
+        """
+        if not log.permissions_held:
+            yield from log.recover_leader()
+        slot = log.applied_upto + 1
         while True:
             if not self.queues[shard]:
                 yield env.gate_wait(self._gates[shard], timeout=self.config.idle_poll)
@@ -322,16 +364,64 @@ class ShardedKV:
                     frontend.complete(command, result)
 
     # ------------------------------------------------------------------
+    # failure hooks (per-shard fault targeting)
+    # ------------------------------------------------------------------
+    def _on_process_crash(self, pid) -> None:
+        """A crash kills the led shards' pending queues with the leader.
+
+        Remote frontends keep retrying their in-flight commands, so the
+        lost queue entries are re-submitted once the leader's acceptor is
+        respawned — at-most-once dedup in the state machine makes the
+        retries idempotent.
+        """
+        self._ever_crashed.add(int(pid))
+        for shard in self.shards_led_by(int(pid)):
+            self.queues[shard].clear()
+
+    def _respawn_process(self, pid) -> None:
+        """Rebuild one recovered process's replica state, shard by shard.
+
+        Every crash-tolerant shard gets a fresh state machine and a
+        ``recovered`` log: led shards re-take leadership (prepare, adopt,
+        re-commit), follower shards pull the committed prefix from their
+        leader.  The process's frontend is rebuilt too — its previous
+        incarnation's pending table died with its clients.  BFT shards are
+        not respawned: Fast & Robust has no recovery path, and a recovered
+        replica would re-enter already-consumed slot regions.
+        """
+        pid = int(pid)
+        cfg = self.config
+        self.frontends[pid] = ShardFrontend(
+            self.cluster.env_for(pid),
+            shard_for=self.partitioner.shard_for,
+            leader_of=self.leader_of,
+            local_submit=self._local_submit,
+            retry_timeout=cfg.retry_timeout,
+        )
+        for g in range(cfg.n_shards):
+            if g not in cfg.bft_shards:
+                self._spawn_pmp_replica(pid, g, recovered=True)
+
+    # ------------------------------------------------------------------
     # workload driving
     # ------------------------------------------------------------------
     def _converged(self) -> bool:
-        """Every replica of every shard has applied the same prefix."""
+        """Every live replica of every shard has applied the same prefix.
+
+        Crashed processes are exempt while down; so are the BFT replicas
+        of any process that ever crashed (Fast & Robust replicas do not
+        recover — see ``_respawn_process``).
+        """
+        crashed = self.kernel.crashed_processes
+        bft = self.config.bft_shards
         for g in range(self.config.n_shards):
             counts = {
                 self.machines[(pid, g)].applied_count
                 for pid in range(self.config.n_processes)
+                if pid not in crashed
+                and not (g in bft and pid in self._ever_crashed)
             }
-            if len(counts) != 1:
+            if len(counts) > 1:
                 return False
         return True
 

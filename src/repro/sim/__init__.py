@@ -22,6 +22,7 @@ from repro.sim.effects import (
     WaitEffect,
 )
 from repro.sim.environment import ProcessEnv
+from repro.sim.faults import FailureController, LinkFault
 from repro.sim.futures import Gate, OpFuture
 from repro.sim.kernel import Kernel, SimConfig, Task
 from repro.sim.latency import (
@@ -35,9 +36,11 @@ from repro.sim.tracing import TraceEvent, Tracer
 
 __all__ = [
     "AdversarialLatency",
+    "FailureController",
     "Gate",
     "GateWaitEffect",
     "InvokeEffect",
+    "LinkFault",
     "OpEffect",
     "JitteredSynchrony",
     "Kernel",

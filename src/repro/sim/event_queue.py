@@ -44,6 +44,7 @@ EV_RESOLVE = 5       #: a = task, b = OpFuture, c = OpResult (response leg)
 EV_RECV_TIMEOUT = 6  #: a = task, b = suspension token (parked recv timed out)
 EV_OP_ARRIVE = 7     #: a = task, b = token, c = (mid, op) — fused OpEffect request leg
 EV_OP_RESOLVE = 8    #: a = task, b = token, c = (mid, result) — fused OpEffect response
+EV_FAULT = 9         #: a = typed fault event (see repro.sim.faults) — no closure
 
 #: One scheduled event: ``(time, seq, kind, a, b, c)``.
 Entry = Tuple[float, int, int, Any, Any, Any]

@@ -16,9 +16,19 @@ Timing semantics (paper Section 3, "Complexity of algorithms"):
 
 Failure semantics:
 
-* a crashed process never runs again and its inbox is dropped;
+* a crashed process never runs again (its tasks are killed, its inbox is
+  dropped) — until a scripted *recovery* removes the crash flag and the
+  registered recovery hooks re-spawn fresh protocol tasks, which rebuild
+  their state from the memory regions;
 * a crashed memory silently swallows requests — the invoking future simply
-  never resolves, indistinguishable from slowness;
+  never resolves, indistinguishable from slowness; a recovered memory
+  answers again, with its regions intact or wiped (see ``recover_memory``);
+* the crash sets are *time-varying state*, consulted on every delivery and
+  resume — nothing may cache "p is faulty" across instants;
+* partitions sever link-level reachability (checked per delivery), and
+  per-link chaos filters inflate/drop/duplicate messages on the send path
+  (see :mod:`repro.sim.faults` — all of it scheduled as typed ``EV_FAULT``
+  queue entries executed by the kernel's :class:`FailureController`);
 * a Byzantine process runs whatever strategy generator was installed, but
   the memories still enforce permissions and the signature authority still
   only gives it its own key.
@@ -72,6 +82,7 @@ from repro.sim.event_queue import (
     EV_ARRIVE,
     EV_CALL,
     EV_DELIVER,
+    EV_FAULT,
     EV_OP_ARRIVE,
     EV_OP_RESOLVE,
     EV_RECV_TIMEOUT,
@@ -80,6 +91,7 @@ from repro.sim.event_queue import (
     EV_WAKE,
     EventQueue,
 )
+from repro.sim.faults import FailureController
 from repro.sim.futures import OpFuture
 from repro.sim.latency import LatencyModel, NominalLatency
 from repro.sim.tracing import Tracer
@@ -198,6 +210,7 @@ class Kernel:
         self._mem_op_counter = self.metrics.mem_ops
         # Flat dispatch tables, indexed by event kind / effect kind.  Order
         # must match the EV_* / FX_* numbering exactly.
+        self.failures = FailureController(self)
         self._ev_handlers = [
             self._ev_call,          # EV_CALL
             self._ev_resume,        # EV_RESUME
@@ -208,6 +221,7 @@ class Kernel:
             self._ev_recv_timeout,  # EV_RECV_TIMEOUT
             self._ev_op_arrive,     # EV_OP_ARRIVE
             self._ev_op_resolve,    # EV_OP_RESOLVE
+            self._ev_fault,         # EV_FAULT
         ]
         self._fx_handlers = [
             self._fx_send,       # FX_SEND
@@ -234,20 +248,48 @@ class Kernel:
         return task
 
     def call_at(self, time: float, fn: Callable[[], None]) -> None:
-        """Run *fn* at virtual *time* (used by failure plans)."""
+        """Run *fn* at virtual *time* (ad-hoc timers, test probes)."""
         self.queue.push(max(time, self.now), EV_CALL, fn)
+
+    def schedule_fault(self, time: float, event) -> None:
+        """Arm one typed fault event (see :mod:`repro.sim.faults`) at
+        virtual *time* — the closure-free replacement for ``call_at``-based
+        fault timers: the queue entry carries the event object itself."""
+        self.queue.push(max(time, self.now), EV_FAULT, event)
 
     # ------------------------------------------------------------------
     # failure injection
     # ------------------------------------------------------------------
     def crash_process(self, pid: ProcessId) -> None:
-        """Crash *pid* now: its tasks never run again, inbox dropped."""
+        """Crash *pid* now: its tasks are killed, its inbox dropped.
+
+        Killing (rather than merely never resuming) the tasks is what makes
+        recovery sound: a stale timer for a pre-crash task must never fire
+        into the process's next incarnation.
+        """
         pid = ProcessId(pid)
         if pid in self.crashed_processes:
             return
         self.crashed_processes.add(pid)
+        for task in self.tasks:
+            if task.pid == pid and not task.done:
+                task.done = True
         self.network.drop_process(pid)
         self.tracer.record(self.now, "crash_proc", process_name(pid))
+        self.metrics.record_fault(self.now, "crash_proc", process_name(pid))
+        self.failures.notify_crash(pid)
+
+    def recover_process(self, pid: ProcessId) -> None:
+        """Recover *pid* now: delivery resumes and the failure controller's
+        recovery hooks re-spawn its protocol tasks (with state rebuilt from
+        the memory regions — the cluster runners register those hooks)."""
+        pid = ProcessId(pid)
+        if pid not in self.crashed_processes:
+            return
+        self.crashed_processes.discard(pid)
+        self.tracer.record(self.now, "recover_proc", process_name(pid))
+        self.metrics.record_fault(self.now, "recover_proc", process_name(pid))
+        self.failures.notify_recover(pid)
 
     def crash_memory(self, mid: MemoryId) -> None:
         """Crash memory *mid* now: subsequent operations on it hang."""
@@ -255,6 +297,17 @@ class Kernel:
         if not memory.crashed:
             memory.crash()
             self.tracer.record(self.now, "crash_mem", memory_name(mid))
+            self.metrics.record_fault(self.now, "crash_mem", memory_name(mid))
+
+    def recover_memory(self, mid: MemoryId, wipe: bool = False) -> None:
+        """Revive memory *mid* now, regions intact (or wiped to boot state)."""
+        memory = self.memories[mid]
+        if memory.crashed:
+            memory.recover(wipe=wipe)
+            self.tracer.record(self.now, "recover_mem", memory_name(mid), wipe=wipe)
+            self.metrics.record_fault(
+                self.now, "recover_mem", memory_name(mid), wipe=wipe
+            )
 
     def mark_byzantine(self, pid: ProcessId) -> None:
         """Exempt *pid* from agreement accounting (its strategy is installed
@@ -380,6 +433,9 @@ class Kernel:
 
     def _ev_deliver(self, env, _b, _c) -> None:
         self._deliver(env)
+
+    def _ev_fault(self, event, _b, _c) -> None:
+        self.failures.execute(event)
 
     def _memory_apply_leg(self, pid, mid, op):
         """Shared arrival leg of both memory-op paths: apply *op* at the
@@ -514,11 +570,40 @@ class Kernel:
             self.tracer.record(
                 self.now, "send", task.label, dst=process_name(dst), topic=effect.topic
             )
+        network = self.network
+        if network.link_faults:
+            fault = network.link_faults.get((task.pid, dst))
+            if fault is not None:
+                if fault.drop_prob and self.rng.random() < fault.drop_prob:
+                    network.chaos_dropped += 1
+                    if self.tracer.enabled:
+                        self.tracer.record(
+                            self.now, "chaos_drop", task.label, dst=process_name(dst)
+                        )
+                    return None  # the send completes; the message is lost
+                delay = delay * fault.delay_factor + fault.extra_delay
+                if fault.duplicate_prob and self.rng.random() < fault.duplicate_prob:
+                    # A fresh envelope (new msg id): the duplicate must pass
+                    # the network's exactly-once guard to test idempotence.
+                    twin = Envelope(task.pid, dst, effect.topic, effect.payload, self.now)
+                    self.queue.push(self.now + delay + 1.0, EV_DELIVER, twin)
         self.queue.push(self.now + delay, EV_DELIVER, env)
         return None
 
     def _deliver(self, env: Envelope) -> None:
         if env.dst in self.crashed_processes:
+            return
+        blocked = self.network.blocked
+        if blocked and (env.src, env.dst) in blocked:
+            # Reachability is time-varying state checked per delivery: a
+            # message sent before the partition but landing during it is
+            # lost, exactly like a packet on a just-severed link.
+            self.network.partition_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.now, "partition_drop", process_name(env.dst),
+                    src=process_name(env.src), topic=env.topic,
+                )
             return
         if self.tracer.enabled:
             self.tracer.record(

@@ -29,6 +29,10 @@ from repro.types import BOTTOM, is_bottom
 SMR_REGION = "smr"
 SMR_TOPIC = "smr"
 
+#: prepare-probe slot used by leader recovery: a slot index no data slot
+#: ever uses, so the probe write cannot clobber a forgotten commit
+_RECOVERY_PROBE_SLOT = -1
+
 
 class Batch:
     """An ordered group of commands committed by one consensus instance.
@@ -125,12 +129,16 @@ class ReplicatedLog:
         apply_fn: Callable[[int, Any], None],
         config: Optional[SmrConfig] = None,
         leader_fn: Optional[Callable[[], int]] = None,
+        recovered: bool = False,
     ) -> None:
         self.env = env
         self.apply_fn = apply_fn
         self.config = config or SmrConfig()
         self.region = self.config.region
         self.topic = self.config.topic
+        #: catch-up traffic (pull requests, horizon acks) rides a sibling
+        #: topic so it never competes with commit broadcasts
+        self.sync_topic = self.config.topic + "-sync"
         #: who may propose; defaults to the kernel's Ω oracle, but a sharded
         #: service pins each group to its own statically assigned leader
         self._leader_fn = leader_fn if leader_fn is not None else (
@@ -140,8 +148,13 @@ class ReplicatedLog:
         self.applied_upto = -1
         self.highest_seen = Ballot.zero()
         #: True once this process has grabbed permissions (or started as
-        #: the initial leader), letting later slots skip the prepare phase
-        self.permissions_held = int(env.pid) == self.config.initial_leader
+        #: the initial leader), letting later slots skip the prepare phase.
+        #: A *recovered* initial leader must NOT assume them: its previous
+        #: incarnation (or a usurper it has forgotten) may have committed
+        #: values it would silently overwrite — recovery always re-prepares.
+        self.permissions_held = (
+            int(env.pid) == self.config.initial_leader and not recovered
+        )
         #: slot -> accepted value discovered at leadership takeover; while
         #: permissions are held nobody else can write, so the cache stays
         #: complete and proposing a cached slot must re-propose its value
@@ -170,11 +183,17 @@ class ReplicatedLog:
 
     # ------------------------------------------------------------------
     def listener(self) -> Generator:
-        """Learn commits broadcast by the leader."""
+        """Learn commits broadcast by the leader; pull any gap below them.
+
+        A commit landing *above* ``applied_upto + 1`` means this replica
+        missed broadcasts (a partition, a restart): it asks the leader to
+        re-send the missing prefix, throttled to one pull per backoff.
+        """
         env = self.env
         # One reusable receive effect: the kernel only reads its fields, so
         # the listener avoids an effect + sub-generator allocation per commit.
         recv_commit = env.recv_effect(topic=self.topic)
+        last_pull = -self.config.retry_backoff
         while True:
             envelope = yield recv_commit
             if envelope is None:
@@ -184,6 +203,105 @@ class ReplicatedLog:
                 slot, decision = payload
                 if isinstance(decision, Decision):
                     self._commit(slot, decision.value)
+                    if slot > self.applied_upto + 1:
+                        now = env.now
+                        target = self._leader_fn()
+                        if (
+                            target != int(env.pid)
+                            and now - last_pull >= self.config.retry_backoff
+                        ):
+                            last_pull = now
+                            yield env.send(
+                                target,
+                                ("pull", self.applied_upto + 1),
+                                topic=self.sync_topic,
+                            )
+
+    def sync_server(self) -> Generator:
+        """Serve catch-up pulls: re-send the committed prefix on request.
+
+        This is the state-transfer half of partition/crash recovery: a
+        replica that missed commit broadcasts (or restarted empty) sends
+        ``("pull", from_slot)`` on the sync topic; any up-to-date replica
+        answers with the committed entries as ordinary ``(slot, Decision)``
+        messages — the listener ingests them with zero new code paths —
+        followed by an ``("upto", n)`` horizon marker on the sync topic.
+        """
+        env = self.env
+
+        def is_pull(envelope) -> bool:
+            payload = envelope.payload
+            return isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "pull"
+
+        recv_pull = env.recv_effect(topic=self.sync_topic, match=is_pull)
+        while True:
+            envelope = yield recv_pull
+            if envelope is None:
+                continue
+            from_slot = max(0, envelope.payload[1])
+            requester = envelope.src
+            for slot in range(from_slot, self.applied_upto + 1):
+                yield env.send(
+                    requester,
+                    (slot, Decision(value=self.slots[slot].value)),
+                    topic=self.topic,
+                )
+            yield env.send(requester, ("upto", self.applied_upto), topic=self.sync_topic)
+
+    def catchup(self) -> Generator:
+        """Pull the committed prefix after a restart (follower recovery).
+
+        Re-asks the current leader every backoff until a horizon ack shows
+        this replica has applied everything the leader had committed; gaps
+        that appear later are handled by the listener's pull path.
+        """
+        env = self.env
+
+        def is_upto(envelope) -> bool:
+            payload = envelope.payload
+            return isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "upto"
+
+        while True:
+            target = self._leader_fn()
+            if target == int(env.pid):
+                return  # leaders recover by re-proposing (recover_leader)
+            yield env.send(target, ("pull", self.applied_upto + 1), topic=self.sync_topic)
+            reply = yield env.recv_effect(
+                topic=self.sync_topic,
+                match=is_upto,
+                timeout=2 * self.config.retry_backoff,
+            )
+            if reply is not None and reply.payload[1] <= self.applied_upto:
+                return
+
+    def recover_leader(self) -> Generator:
+        """Re-establish leadership after a restart and re-commit the past.
+
+        Runs the full prepare (``recovered`` logs start with
+        ``permissions_held`` False) — but probed at the reserved recovery
+        slot, NOT at the next data slot: the prepare's ballot-publishing
+        write lands on the probed slot's own key, and a restarted leader
+        has forgotten which of its own keys hold committed values, so
+        probing a real slot could destroy its previous incarnation's
+        commit at every memory the prepare reaches.  The reserved slot can
+        never hold data, the snapshot still covers the whole region, and
+        ``adopt_cache`` then holds every slot any incarnation ever
+        accepted; each propose re-commits those values in order —
+        re-broadcasting their decisions, which is also what re-teaches a
+        minority that was partitioned away while this leader was down.
+        """
+        env = self.env
+        majority = env.majority_of_memories()
+        while not self.permissions_held:
+            prop_nr = self.highest_seen.next_for(env.pid)
+            self.highest_seen = prop_nr
+            adopted = yield from self._prepare(
+                _RECOVERY_PROBE_SLOT, prop_nr, majority, Batch()
+            )
+            if adopted is None:
+                yield env.sleep(self.config.retry_backoff * (1 + env.rng.random()))
+        while self.adopt_cache and max(self.adopt_cache) > self.applied_upto:
+            yield from self.propose(self.applied_upto + 1, Batch())
 
     # ------------------------------------------------------------------
     def propose(self, slot: int, command: Any) -> Generator:

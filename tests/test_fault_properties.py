@@ -1,0 +1,170 @@
+"""Property tests over the fault plane.
+
+Two families:
+
+* any crash-only FaultScript (random victims, random times) preserves
+  agreement and validity across the memory-backed Paxos variants — the
+  event-driven timeline must never open a safety hole the static plans
+  did not have;
+* a run containing partition + heal + crash + recovery events replays
+  byte-identically from its seed (trace hash over the full schedule).
+"""
+
+import hashlib
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    AlignedConfig,
+    AlignedPaxos,
+    FaultScript,
+    ProtectedMemoryPaxos,
+    run_consensus,
+)
+from repro.consensus.omega import crash_aware_omega
+from repro.core.cluster import Cluster, ClusterConfig
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_PROTOCOLS = {
+    "pmp": lambda: ProtectedMemoryPaxos(),
+    "aligned-protected": lambda: AlignedPaxos(AlignedConfig(variant="protected")),
+    "aligned-disk": lambda: AlignedPaxos(AlignedConfig(variant="disk")),
+}
+
+
+def _crash_only_script(proc_victim, proc_at, mem_victim, mem_at):
+    """One random crash-only timeline: at most one process and one memory."""
+    script = FaultScript()
+    if proc_victim is not None:
+        script.at(proc_at).crash_process(proc_victim)
+    if mem_victim is not None:
+        script.at(mem_at).crash_memory(mem_victim)
+    return script
+
+
+def _check_safety(result, inputs):
+    assert not result.metrics.violations
+    values = result.decided_values
+    assert len(values) <= 1
+    assert all(value in inputs for value in values)
+
+
+class TestCrashOnlyScriptsPreserveSafety:
+    @_PROPERTY_SETTINGS
+    @given(
+        protocol=st.sampled_from(sorted(_PROTOCOLS)),
+        proc_victim=st.one_of(st.none(), st.integers(0, 2)),
+        proc_at=st.floats(0.0, 8.0),
+        mem_victim=st.one_of(st.none(), st.integers(0, 2)),
+        mem_at=st.floats(0.0, 8.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_agreement_and_validity(
+        self, protocol, proc_victim, proc_at, mem_victim, mem_at, seed
+    ):
+        inputs = ["a", "b", "c"]
+        script = _crash_only_script(proc_victim, proc_at, mem_victim, mem_at)
+        result = run_consensus(
+            _PROTOCOLS[protocol](),
+            3,
+            3,
+            inputs=inputs,
+            faults=script,
+            omega="crash-aware",
+            seed=seed,
+            deadline=4_000,
+        )
+        _check_safety(result, inputs)
+        # within tolerance (one process, a minority of memories) the run
+        # must also terminate with every survivor decided
+        assert result.all_decided
+
+    @_PROPERTY_SETTINGS
+    @given(
+        protocol=st.sampled_from(["pmp", "aligned-protected"]),
+        proc_victim=st.integers(0, 2),
+        crash_at=st.floats(0.0, 6.0),
+        down_for=st.floats(5.0, 30.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_crash_recover_keeps_safety_and_terminates(
+        self, protocol, proc_victim, crash_at, down_for, seed
+    ):
+        inputs = ["a", "b", "c"]
+        script = FaultScript()
+        script.at(crash_at).crash_process(proc_victim).recover(at=crash_at + down_for)
+        result = run_consensus(
+            _PROTOCOLS[protocol](),
+            3,
+            3,
+            inputs=inputs,
+            faults=script,
+            omega="crash-aware",
+            seed=seed,
+            deadline=8_000,
+        )
+        _check_safety(result, inputs)
+        # the recovered process is expected to decide too
+        assert result.all_decided
+        assert len(result.metrics.decisions) == 3
+
+
+def _chaos_cluster(seed: int) -> Cluster:
+    """One churn-heavy cluster: partition + heal + crash + recover + link
+    chaos, tracing on."""
+    script = FaultScript()
+    script.at(1.0).crash_process(0).recover(at=30.0)
+    script.at(2.0).partition({0, 1}, {2}).heal(at=25.0)
+    script.at(3.0).delay_link(1, 2, factor=2.0, until=20.0, symmetric=True)
+    script.at(4.0).duplicate_link(1, 0, prob=0.5, until=22.0)
+    cluster = Cluster(
+        ProtectedMemoryPaxos(),
+        ClusterConfig(3, 3, seed=seed, trace=True, deadline=60_000),
+        script,
+    )
+    cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+    return cluster
+
+
+def _run_hash(seed: int) -> str:
+    cluster = _chaos_cluster(seed)
+    result = cluster.run(["a", "b", "c"])
+    assert result.all_decided and result.agreed
+    kernel = cluster.kernel
+    digest = hashlib.sha256()
+    for event in kernel.tracer.events:
+        digest.update(str(event).encode())
+        digest.update(b"\n")
+    for record in kernel.metrics.fault_timeline:
+        digest.update(
+            f"F {record.time} {record.kind} {record.subject} {sorted(record.detail.items())}".encode()
+        )
+    for pid in sorted(kernel.metrics.decisions):
+        decision = kernel.metrics.decisions[pid]
+        digest.update(f"D p{int(pid)} {decision.value!r} @{decision.decided_at}".encode())
+    digest.update(
+        (
+            f"msgs={sorted(kernel.metrics.messages_sent.items())} "
+            f"ops={sorted(kernel.metrics.mem_ops.items())} "
+            f"pdrop={kernel.network.partition_dropped} "
+            f"cdrop={kernel.network.chaos_dropped} "
+            f"pushed={kernel.queue.pushed} popped={kernel.queue.popped} "
+            f"now={kernel.now}"
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+class TestChaosDeterminism:
+    def test_partition_heal_recovery_replays_identically(self):
+        """Same seed, same chaos script -> byte-identical schedule."""
+        assert _run_hash(11) == _run_hash(11)
+
+    def test_different_seeds_diverge(self):
+        """The hash is sensitive enough to see the seed at all."""
+        assert _run_hash(11) != _run_hash(12)

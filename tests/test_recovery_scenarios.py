@@ -1,0 +1,229 @@
+"""Recovery under churn: the scenario catalog and the acceptance runs.
+
+The headline run scripts a partitioned-then-healed minority AND a
+crashed-then-recovered leader into one consensus instance: both rejoin and
+the cluster still agrees.  For the sharded service, one shard's leader
+churns (crash + recover) while the untouched shards keep committing, and
+the churned shard's replicas converge again after recovery.
+"""
+
+import pytest
+
+from repro import (
+    ClosedLoopClient,
+    FaultScript,
+    ProtectedMemoryPaxos,
+    ShardConfig,
+    ShardedKV,
+)
+from repro.consensus.omega import crash_aware_omega
+from repro.core import scenarios
+from repro.core.cluster import Cluster, ClusterConfig
+
+
+class TestScenarioCatalog:
+    def test_partition_minority_rejoins_after_heal(self):
+        cluster = scenarios.partition_minority(ProtectedMemoryPaxos(), heal_at=25.0)
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed and result.valid
+        # the majority decides while the minority is cut off; the minority
+        # only rejoins (through the memories) after the heal
+        assert result.metrics.decisions[2].decided_at > 25.0
+        assert result.metrics.decisions[0].decided_at < 25.0
+        kinds = [record.kind for record in cluster.kernel.metrics.fault_timeline]
+        assert kinds == ["partition", "heal"]
+        assert cluster.kernel.network.partition_dropped > 0
+
+    def test_crash_recover_leader(self):
+        cluster = scenarios.crash_recover_leader(
+            ProtectedMemoryPaxos(), crash_at=1.0, recover_at=30.0
+        )
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed and result.valid
+        # the recovered leader decides after its restart, same value
+        assert result.metrics.decisions[0].decided_at > 30.0
+        assert cluster.kernel.metrics.downtime_spans("p1") == [(1.0, 30.0)]
+
+    def test_permission_storm_delays_but_never_derails(self):
+        storm_end = 0.5 + 5 * 1.5
+        cluster = scenarios.permission_storm(
+            ProtectedMemoryPaxos(), storm_at=0.5, shots=6, spacing=1.5
+        )
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed and result.valid
+        records = cluster.kernel.metrics.faults_of("perm_change")
+        assert len(records) == 6 * 3 and all(r.detail["ok"] for r in records)
+        # every grab steals the region, so the decision lands after the storm
+        assert result.metrics.decisions[0].decided_at > storm_end
+
+    def test_rolling_restart_full_window(self):
+        cluster = scenarios.rolling_restart(
+            ProtectedMemoryPaxos(), first_at=1.0, period=16.0
+        )
+        cluster.start(["a", "b", "c"])
+        cluster.kernel.run(until=60.0)
+        metrics = cluster.kernel.metrics
+        assert len(metrics.faults_of("crash_proc")) == 3
+        assert len(metrics.faults_of("recover_proc")) == 3
+        assert not metrics.violations
+        assert len(metrics.decisions) == 3
+        assert len({record.value for record in metrics.decisions.values()}) == 1
+
+    def test_recovered_process_redecides_same_value(self):
+        """A process that decided, crashed, and recovered must not revoke:
+        its restarted incarnation re-adopts the same value (a different one
+        would raise an AgreementViolation through the strict ledger)."""
+        cluster = scenarios.rolling_restart(ProtectedMemoryPaxos())
+        cluster.start(["a", "b", "c"])
+        cluster.kernel.run(until=80.0)
+        assert not cluster.kernel.metrics.violations
+
+
+class TestAlignedRecoverySafety:
+    def test_recovered_aligned_leader_must_not_override_commit(self):
+        """Regression: a crashed-and-recovered Aligned Paxos initial leader
+        must not re-run the first-attempt phase-1 skip.  Setup: p1 commits
+        'b' while p0 is partitioned away; p0 then takes over through the
+        memories, adopts and decides 'b' (holding exclusive permission),
+        crashes, and recovers.  Pre-fix, the restarted p0 skipped phase 1
+        and decided its own input 'a' — an agreement violation the strict
+        ledger raises."""
+        from repro import AlignedConfig, AlignedPaxos
+        from repro.consensus.omega import leader_schedule
+
+        script = FaultScript()
+        script.at(0.0).partition({0}, {1, 2}).heal(at=60.0)
+        script.at(30.0).crash_process(0).recover(at=50.0)
+        cluster = Cluster(
+            AlignedPaxos(AlignedConfig(variant="protected")),
+            ClusterConfig(3, 3, deadline=60_000),
+            script,
+        )
+        cluster.kernel.omega = leader_schedule([(0.0, 1), (10.0, 0)])
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed and result.valid
+        assert result.decided_values == {"b"}
+
+
+class TestCombinedAcceptance:
+    def test_partitioned_minority_and_recovered_leader_both_rejoin(self):
+        """The ISSUE's scripted acceptance run, in one timeline: the leader
+        crashes mid-attempt and recovers; the minority is partitioned away
+        and healed.  Everybody decides one value."""
+        script = FaultScript()
+        script.at(1.0).crash_process(0).recover(at=30.0)
+        script.at(2.0).partition({0, 1}, {2}).heal(at=25.0)
+        cluster = Cluster(
+            ProtectedMemoryPaxos(),
+            ClusterConfig(3, 3, deadline=60_000),
+            script,
+        )
+        cluster.kernel.omega = crash_aware_omega(cluster.kernel)
+        result = cluster.run(["a", "b", "c"])
+        assert result.all_decided and result.agreed and result.valid
+        decisions = result.metrics.decisions
+        # the interim leader decided during the churn window...
+        assert decisions[1].decided_at < 25.0
+        # ...the recovered leader re-adopted after its restart, and the
+        # partitioned minority rejoined after the heal
+        assert decisions[0].decided_at > 30.0
+        assert decisions[2].decided_at > 25.0
+        assert len({record.value for record in decisions.values()}) == 1
+        timeline = [r.kind for r in cluster.kernel.metrics.fault_timeline]
+        assert timeline == ["crash_proc", "partition", "heal", "recover_proc"]
+
+
+class _PoolKeys:
+    """Key distribution drawing only from one shard's key pool."""
+
+    def __init__(self, keys):
+        self._keys = list(keys)
+
+    def next_key(self, rng):
+        return self._keys[rng.randrange(len(self._keys))]
+
+
+def _shard_key_pools(service, per_shard=4):
+    pools = {g: [] for g in range(service.config.n_shards)}
+    index = 0
+    while any(len(pool) < per_shard for pool in pools.values()):
+        key = f"k{index}"
+        index += 1
+        shard = service.partitioner.shard_for(key)
+        if len(pools[shard]) < per_shard:
+            pools[shard].append(key)
+    return pools
+
+
+class TestShardedChurn:
+    CRASH_AT = 40.0
+    RECOVER_AT = 250.0
+
+    def _run(self):
+        script = FaultScript()
+        script.at(self.CRASH_AT).crash_process(1).recover(at=self.RECOVER_AT)
+        service = ShardedKV(
+            ShardConfig(
+                n_shards=3,
+                n_processes=3,
+                batch_max=4,
+                seed=7,
+                retry_timeout=25.0,
+                deadline=5_000.0,
+                faults=script,
+            )
+        )
+        assert service.shards_led_by(1) == [1]
+        pools = _shard_key_pools(service)
+        clients = [
+            ClosedLoopClient(client_id=0, n_ops=25, keys=_PoolKeys(pools[0]),
+                             think_time=8.0, pid=0),
+            ClosedLoopClient(client_id=1, n_ops=25, keys=_PoolKeys(pools[2]),
+                             think_time=8.0, pid=2),
+            ClosedLoopClient(client_id=2, n_ops=8, keys=_PoolKeys(pools[1]),
+                             think_time=5.0, pid=0),
+        ]
+        samples = {}
+
+        def capture(tag):
+            samples[tag] = {
+                g: service.machines[(0, g)].applied_count for g in range(3)
+            }
+
+        service.kernel.call_at(self.CRASH_AT - 1.0, lambda: capture("pre"))
+        service.kernel.call_at(self.RECOVER_AT - 1.0, lambda: capture("down"))
+        report = service.run_workload(clients)
+        return service, report, samples
+
+    def test_churning_shard_recovers_while_others_serve(self):
+        service, report, samples = self._run()
+        assert report.ok, "every request must complete despite the churn"
+        # the run converges shortly after recovery, not at the deadline
+        assert report.elapsed < 1_000.0
+        # untouched shards kept committing while the churned leader was down
+        assert samples["down"][0] > samples["pre"][0]
+        assert samples["down"][2] > samples["pre"][2]
+        # the churned shard stalled during the downtime window
+        assert samples["down"][1] <= samples["pre"][1] + 1
+
+    def test_churned_replicas_converge_exactly(self):
+        service, report, _samples = self._run()
+        assert report.ok
+        for g in range(3):
+            counts = {
+                service.machines[(pid, g)].applied_count for pid in range(3)
+            }
+            stores = {
+                tuple(sorted(service.machines[(pid, g)].data.items()))
+                for pid in range(3)
+            }
+            assert len(counts) == 1, f"shard {g} replicas diverged: {counts}"
+            assert len(stores) == 1, f"shard {g} stores diverged"
+
+    def test_retries_resume_after_leader_returns(self):
+        service, report, _samples = self._run()
+        assert report.ok
+        # frontends on p1's peers retried into the downtime window
+        assert service.frontends[0].retries > 0
+        spans = service.kernel.metrics.downtime_spans("p2")
+        assert spans == [(self.CRASH_AT, self.RECOVER_AT)]
