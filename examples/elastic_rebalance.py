@@ -1,0 +1,104 @@
+"""Elastic rebalance tour: autoscale 2 -> 4 shards under Zipfian load.
+
+Starts a 2-shard :class:`ElasticKV` with the autoscaler armed, drives a
+Zipfian closed-loop workload at it, and lets the control plane do the
+rest: the ledger's per-shard commit rates cross the split threshold, the
+autoscaler proposes, the config log commits, and the coordinator runs
+the fenced migration dance — twice.  Prints the epoch history, per-epoch
+moved-key counts, and p99 latency before/after the reconfigurations.
+
+Run:  python examples/elastic_rebalance.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (  # noqa: E402
+    AutoscalerConfig,
+    ClosedLoopClient,
+    ElasticConfig,
+    ElasticKV,
+    ZipfianKeys,
+)
+from repro.metrics.workload import percentile  # noqa: E402
+
+
+def main() -> None:
+    service = ElasticKV(
+        ElasticConfig(
+            n_shards=2,
+            n_processes=4,
+            batch_max=4,
+            seed=29,
+            retry_timeout=25.0,
+            deadline=200_000.0,
+            autoscaler=AutoscalerConfig(
+                interval=50.0,
+                split_above=60.0,  # commands per kilo-delay per shard
+                cooldown=140.0,
+                max_shards=4,
+            ),
+        )
+    )
+    print("epoch 0:", service.epoch)
+    clients = [
+        ClosedLoopClient(
+            client_id=i,
+            n_ops=220,
+            keys=ZipfianKeys(200, prefix="zk"),
+            think_time=1.0,
+        )
+        for i in range(6)
+    ]
+    report = service.run_workload(clients)
+    assert report.ok, report.summary()
+    print(f"\nworkload: {report.summary()}")
+
+    ledger = service.kernel.metrics
+    activations = {
+        int(record.subject[1:]): record.time
+        for record in ledger.reconfigs_of("activate")
+    }
+    moved = service.moved_by_epoch()
+    print("\nepoch history:")
+    for epoch in service.epochs:
+        when = activations.get(epoch.number)
+        line = (
+            f"  e{epoch.number}: shards={list(epoch.shards)} "
+            f"leaders={ {g: int(p) + 1 for g, p in sorted(epoch.leaders.items())} }"
+        )
+        if epoch.number:
+            line += f"  moved={moved.get(epoch.number, 0)} keys"
+            line += f"  activated at t={when:g}" if when is not None else "  (pending)"
+        print(line)
+    assert service.epoch.number == 2, "expected two autoscaler splits"
+    assert len(service.shards) == 4
+
+    first_cutover = min(activations.values())
+    last_cutover = max(activations.values())
+    before, after = [], []
+    for samples in ledger.shard_latencies.values():
+        for t, latency in samples:
+            if t <= first_cutover:
+                before.append(latency)
+            elif t > last_cutover:
+                after.append(latency)
+    print(
+        f"\np99 latency: {percentile(before, 0.99):g} delays on 2 shards "
+        f"(before e1) -> {percentile(after, 0.99):g} delays on 4 shards "
+        f"(after e{service.epoch.number})"
+    )
+    print(
+        "autoscaler proposals:",
+        [(f"t={t:g}", repr(p)) for t, p in service.autoscaler.proposals],
+    )
+    print("per-shard distribution of the hot keyspace now:")
+    counts = service.partitioner.distribution(f"zk{i}" for i in range(200))
+    for shard in sorted(counts):
+        print(f"  g{shard}: {counts[shard]} of 200 keys")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,17 @@ from repro.failures.byzantine import (
     SlotRewriter,
 )
 from repro.failures.plans import FaultPlan
+from repro.reconfig import (
+    AddReplica,
+    Autoscaler,
+    AutoscalerConfig,
+    ElasticConfig,
+    ElasticKV,
+    MergeShard,
+    MoveLeader,
+    RemoveReplica,
+    SplitShard,
+)
 from repro.failures.script import FaultScript
 from repro.sim.faults import LinkFault
 from repro.shard import (
@@ -88,9 +99,12 @@ from repro.types import BOTTOM, OpStatus
 __version__ = "1.0.0"
 
 __all__ = [
+    "AddReplica",
     "AdversarialLatency",
     "AlignedConfig",
     "AlignedPaxos",
+    "Autoscaler",
+    "AutoscalerConfig",
     "BOTTOM",
     "Ballot",
     "Batch",
@@ -107,6 +121,8 @@ __all__ = [
     "CqOutcome",
     "DiskPaxos",
     "DiskPaxosConfig",
+    "ElasticConfig",
+    "ElasticKV",
     "EquivocatingBroadcaster",
     "FastPaxos",
     "FastPaxosConfig",
@@ -118,7 +134,9 @@ __all__ = [
     "KVCommand",
     "LinkFault",
     "KVStateMachine",
+    "MergeShard",
     "MessagePaxos",
+    "MoveLeader",
     "MultiGroupCluster",
     "NominalLatency",
     "OpStatus",
@@ -132,6 +150,7 @@ __all__ = [
     "PmpConfig",
     "PreferentialPaxosConfig",
     "ProtectedMemoryPaxos",
+    "RemoveReplica",
     "ReplicatedLog",
     "RobustBackup",
     "RunResult",
@@ -141,6 +160,7 @@ __all__ = [
     "SilentByzantine",
     "SlotRewriter",
     "SmrConfig",
+    "SplitShard",
     "UniformKeys",
     "YCSB_A",
     "YCSB_B",

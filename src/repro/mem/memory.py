@@ -95,6 +95,18 @@ class Memory:
                 spec.region_id: spec.initial_permission for spec in self.layout.regions
             }
 
+    def add_region(self, spec) -> None:
+        """Install a region registered after boot (elastic reconfiguration).
+
+        The layout object is shared by every memory, so the kernel adds
+        the spec there once and calls this per memory to install the
+        boot permission.  Idempotent per region id — a crashed memory's
+        permission state is hardware state, present when it revives, and
+        a coordinator retrying after its own crash must not reset a
+        permission the first attempt already moved.
+        """
+        self.permissions.setdefault(spec.region_id, spec.initial_permission)
+
     # ------------------------------------------------------------------
     # operation processing
     # ------------------------------------------------------------------

@@ -118,6 +118,52 @@ def adversarial_grab(pid: ProcessId, n_processes: int) -> Permission:
     return Permission.exclusive_writer(int(pid), range(n_processes))
 
 
+def epoch_fence_policy(
+    all_processes: Iterable[int], retirable: bool = True
+) -> LegalChangeFn:
+    """The reconfiguration fence policy for elastic shard-log regions.
+
+    Two legal moves, mirroring how the paper's permission mechanism is
+    repurposed from failover to membership change:
+
+    * **exclusive grant** — the region may switch to the exclusive-writer
+      shape ``(R: P - {x}, W: empty, RW: {x})`` for any replica ``x``.
+      This covers both the PMP self-grab (a new-epoch leader's takeover
+      prepare) and an epoch activation installing a named leader; either
+      way the change *revokes* every old-epoch writer at this memory
+      before the new-epoch writer holds anything.
+    * **retirement** (only when *retirable*) — the region may switch to
+      the empty permission (nobody reads, nobody writes): the tombstone a
+      merged-away shard's log is fenced to once its keys have migrated
+      out.  Retirement is STICKY: once the tombstone is installed, the
+      only legal change is the tombstone again, so a deposed old-epoch
+      leader (or a recovered stale incarnation) can never grab a retired
+      region back — its post-revocation writes NAK forever.
+
+    Regions that must never die — the config log's own region above all —
+    pass ``retirable=False``: an errant (or scripted-adversarial)
+    tombstone request against them is an ordinary illegal change, not an
+    irreversible bricking of the control plane.
+    """
+
+    processes = _fs(all_processes)
+    tombstone = Permission()
+
+    def policy(pid: ProcessId, old: Permission, new: Permission) -> bool:
+        if old == tombstone:
+            return new == tombstone
+        if new == tombstone:
+            return retirable
+        return (
+            not new.write
+            and len(new.readwrite) == 1
+            and new.readwrite <= processes
+            and new.read == processes - new.readwrite
+        )
+
+    return policy
+
+
 def exclusive_grab_policy(all_processes: Iterable[int]) -> LegalChangeFn:
     """Allow any process to grab exclusive write access for itself.
 

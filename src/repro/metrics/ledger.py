@@ -84,6 +84,16 @@ class MetricsLedger:
     #: benchmarks join this against decision/commit times to plot recovery
     #: latency under a scripted churn schedule
     fault_timeline: List[FaultRecord] = field(default_factory=list)
+    #: every reconfiguration step the elastic coordinator executed
+    #: (``cfg_commit``, ``fence``, ``migrate``, ``seal``, ``activate``, ...)
+    #: — the epoch timeline benchmarks join against throughput and p99
+    reconfig_timeline: List[FaultRecord] = field(default_factory=list)
+    #: shard -> committed commands, fed by the shard leader's apply path;
+    #: the autoscaler differentiates this into per-shard commit rates
+    shard_commits: Counter = field(default_factory=Counter)
+    #: shard -> [(completed_at, latency_in_delays)] per client request —
+    #: the autoscaler's p99 window and the benchmarks' before/after series
+    shard_latencies: Dict[int, List[tuple]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # recording
@@ -147,6 +157,22 @@ class MetricsLedger:
     def record_fault(self, time: float, kind: str, subject: str, **detail: Any) -> None:
         """Append one executed fault event to the timeline."""
         self.fault_timeline.append(FaultRecord(time, kind, subject, detail))
+
+    def record_reconfig(self, time: float, kind: str, subject: str, **detail: Any) -> None:
+        """Append one reconfiguration step to the epoch timeline."""
+        self.reconfig_timeline.append(FaultRecord(time, kind, subject, detail))
+
+    def reconfigs_of(self, kind: str) -> List[FaultRecord]:
+        """All reconfiguration records of one *kind*, in execution order."""
+        return [record for record in self.reconfig_timeline if record.kind == kind]
+
+    def count_shard_commit(self, shard: int, commands: int = 1) -> None:
+        """Credit *commands* committed entries to *shard* (leader apply)."""
+        self.shard_commits[shard] += commands
+
+    def record_shard_latency(self, shard: int, now: float, latency: float) -> None:
+        """Record one completed request's round-trip latency for *shard*."""
+        self.shard_latencies.setdefault(shard, []).append((now, latency))
 
     def faults_of(self, kind: str) -> List[FaultRecord]:
         """All timeline entries of one fault *kind*, in execution order."""

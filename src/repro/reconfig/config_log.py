@@ -1,0 +1,129 @@
+"""The configuration log: membership changes decided by consensus.
+
+The config log is itself a :class:`~repro.smr.log.ReplicatedLog` over
+Protected Memory Paxos — one replica per pool process, one permissioned
+region (``cfg``) in the same memories that hold the shard logs.  Its
+committed entries are the typed commands of :mod:`repro.reconfig.epochs`;
+every replica folds them in slot order through the shared
+:class:`~repro.reconfig.epochs.ConfigState`, so the epoch sequence is
+agreed the same way any replicated value is.
+
+Config leadership follows the membership it describes: the lowest active
+replica leads.  When an epoch moves that (the previous low replica was
+removed), the incoming leader's recovered log re-prepares — the takeover
+``changePermission`` at each memory revokes the old config leader, so a
+deposed coordinator cannot commit configuration changes for a cluster
+that has moved on (the paper's fencing argument, applied to the control
+plane itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.mem.permissions import Permission, epoch_fence_policy
+from repro.mem.regions import RegionSpec
+from repro.reconfig.epochs import ConfigState
+from repro.smr.log import ReplicatedLog, SmrConfig
+
+CONFIG_REGION = "cfg"
+CONFIG_TOPIC = "cfg"
+
+
+def config_regions(n_processes: int, initial_leader: int) -> List[RegionSpec]:
+    """The config log's single dynamic-permission region.
+
+    Leadership grants move freely (takeover prepare), but the region is
+    NOT retirable: the cluster can merge any data shard away, yet the
+    control plane's own log must survive every epoch, so a tombstone
+    request against ``cfg`` is an ordinary illegal change.
+    """
+    processes = range(n_processes)
+    return [
+        RegionSpec(
+            region_id=CONFIG_REGION,
+            prefix=(CONFIG_REGION,),
+            initial_permission=Permission.exclusive_writer(initial_leader, processes),
+            legal_change=epoch_fence_policy(processes, retirable=False),
+        )
+    ]
+
+
+class ConfigLog:
+    """Per-service manager of the config-log replicas and the epoch fold.
+
+    Owns one :class:`ReplicatedLog` endpoint per pool process (spawned by
+    the service alongside its shard replicas), the shared
+    :class:`ConfigState`, and the fold-once guard: replicas apply slots
+    in order, and the first replica to apply slot *k* folds it — later
+    replicas' applications of the same slot are no-ops, as are the
+    re-commits a recovered leader performs during takeover.
+    """
+
+    def __init__(
+        self,
+        state: ConfigState,
+        leader_fn: Callable[[], int],
+        on_fold: Optional[Callable[[Any, Any, bool], None]] = None,
+    ) -> None:
+        self.state = state
+        self._leader_fn = leader_fn
+        #: called as ``on_fold(command, new_epoch_or_None, accepted)``
+        #: after each first-time fold — the service wires coordinator
+        #: wakeups and routing flips here; ``accepted=False`` marks a
+        #: command the fold rejected (side effects must not run for it)
+        self._on_fold = on_fold
+        self.logs: Dict[int, ReplicatedLog] = {}
+        self._folded_upto = -1
+        #: command objects already folded — a coordinator respawned after
+        #: a crash may re-commit the same proposal object (it cannot know
+        #: whether its first attempt reached the log), and a second log
+        #: entry must fold as a no-op, not open a second epoch
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------
+    def make_replica(self, env, recovered: bool = False) -> ReplicatedLog:
+        """Build this process's config-log endpoint (idempotent per pid:
+        a recovered process replaces its dead incarnation's endpoint)."""
+        log = ReplicatedLog(
+            env,
+            self._apply,
+            SmrConfig(
+                initial_leader=self._leader_fn(),
+                region=CONFIG_REGION,
+                topic=CONFIG_TOPIC,
+            ),
+            leader_fn=self._leader_fn,
+            recovered=recovered,
+        )
+        self.logs[int(env.pid)] = log
+        return log
+
+    def _apply(self, slot: int, value: Any) -> None:
+        if slot <= self._folded_upto:
+            return  # another replica (or a re-commit) already folded it
+        self._folded_upto = slot
+        if id(value) in self._seen:
+            return  # duplicate entry from a coordinator's retried commit
+        self._seen.add(id(value))
+        rejected_before = len(self.state.rejected)
+        epoch = self.state.apply(value)
+        if self._on_fold is not None:
+            accepted = len(self.state.rejected) == rejected_before
+            self._on_fold(value, epoch, accepted)
+
+    # ------------------------------------------------------------------
+    def commit(self, env, command: Any) -> Generator:
+        """Drive *command* into the log from this process (the coordinator).
+
+        Proposes at successive slots until *this* command is the decided
+        value — a contested slot (another leader's entry won it) just
+        moves the proposal to the next slot.  Returns once the command is
+        committed and folded locally.
+        """
+        log = self.logs[int(env.pid)]
+        while True:
+            slot = log.applied_upto + 1
+            decided = yield from log.propose(slot, command)
+            if decided is command:
+                return

@@ -1,0 +1,373 @@
+"""Epochs and the typed configuration-change command vocabulary.
+
+A cluster configuration — which shards exist, who leads them, which
+processes host replicas — is itself replicated state: the config log
+commits the commands below in a total order, and every replica folds
+them through :class:`ConfigState` to derive the identical numbered
+:class:`Epoch` sequence without communicating.  The fold is therefore
+*deterministic and total*: an invalid command folds to a recorded
+rejection (a no-op), never an exception, because every replica must
+reach the same state regardless of which one proposed the nonsense.
+
+User-facing commands (each opens a new epoch):
+
+* :class:`SplitShard` — allocate a fresh shard id; consistent hashing
+  steals ~1/(n+1) of the keyspace for it from *every* existing shard.
+* :class:`MergeShard` — retire one shard; its keys spill across the
+  survivors and its log region is permission-fenced to the tombstone.
+* :class:`MoveLeader` — move one shard's leadership to another replica.
+* :class:`AddReplica` / :class:`RemoveReplica` — grow or shrink the
+  replica membership (processes are a fixed pool in the simulation;
+  membership says who *hosts shard replicas*, the rest are warm spares).
+
+Coordinator-internal commands (they advance an epoch's lifecycle and are
+committed through the same log so a respawned coordinator can resume):
+
+* :class:`SealShard` — a migration source stops committing moved keys.
+* :class:`ActivateEpoch` — the cutover: routing flips to the new ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.types import process_name
+
+# ---------------------------------------------------------------------------
+# Command kinds (dense, mirror the kernel's event/fault tagging).
+# ---------------------------------------------------------------------------
+RK_SPLIT = 0          #: allocate a new shard (grow the ring)
+RK_MERGE = 1          #: retire a shard (shrink the ring)
+RK_MOVE_LEADER = 2    #: move one shard's leadership
+RK_ADD_REPLICA = 3    #: a spare process joins the replica set
+RK_REMOVE_REPLICA = 4  #: a replica leaves the set (its led shards move)
+RK_SEAL = 5           #: internal: freeze a migration source's moved keys
+RK_ACTIVATE = 6       #: internal: flip routing to the epoch's ring
+
+
+class SplitShard:
+    """Grow the ring by one shard.  ``hot_shard`` is provenance only (the
+    autoscaler's culprit); the ring effect is global — the new shard's
+    virtual nodes steal a slice from every existing shard."""
+
+    __slots__ = ("hot_shard",)
+    kind = RK_SPLIT
+
+    def __init__(self, hot_shard: Optional[int] = None) -> None:
+        self.hot_shard = None if hot_shard is None else int(hot_shard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SplitShard(hot={self.hot_shard})"
+
+
+class MergeShard:
+    """Retire shard *victim*: migrate its keys out, tombstone its log."""
+
+    __slots__ = ("victim",)
+    kind = RK_MERGE
+
+    def __init__(self, victim: int) -> None:
+        self.victim = int(victim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergeShard(g{self.victim})"
+
+
+class MoveLeader:
+    """Hand shard *shard*'s leadership to replica *pid*."""
+
+    __slots__ = ("shard", "pid")
+    kind = RK_MOVE_LEADER
+
+    def __init__(self, shard: int, pid: int) -> None:
+        self.shard = int(shard)
+        self.pid = int(pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MoveLeader(g{self.shard} -> {process_name(self.pid)})"
+
+
+class AddReplica:
+    """Process *pid* (a warm spare) joins the replica membership."""
+
+    __slots__ = ("pid",)
+    kind = RK_ADD_REPLICA
+
+    def __init__(self, pid: int) -> None:
+        self.pid = int(pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddReplica({process_name(self.pid)})"
+
+
+class RemoveReplica:
+    """Process *pid* leaves the membership; shards it led are reassigned."""
+
+    __slots__ = ("pid",)
+    kind = RK_REMOVE_REPLICA
+
+    def __init__(self, pid: int) -> None:
+        self.pid = int(pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoveReplica({process_name(self.pid)})"
+
+
+class SealShard:
+    """Internal: source *shard* of epoch *epoch* stops committing moved
+    keys (the drain filter drops them; client resends re-route)."""
+
+    __slots__ = ("epoch", "shard")
+    kind = RK_SEAL
+
+    def __init__(self, epoch: int, shard: int) -> None:
+        self.epoch = int(epoch)
+        self.shard = int(shard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SealShard(e{self.epoch}, g{self.shard})"
+
+
+class ActivateEpoch:
+    """Internal: epoch *epoch*'s migration finished — flip routing."""
+
+    __slots__ = ("epoch",)
+    kind = RK_ACTIVATE
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = int(epoch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActivateEpoch(e{self.epoch})"
+
+
+#: Any of the command classes above.
+ConfigCommand = object
+
+
+class Epoch:
+    """One numbered cluster configuration.
+
+    ``ring_version`` equals ``number``: every epoch stages exactly one
+    ring.  ``migration_sources`` are the shards that lose keys going into
+    this epoch; ``retired`` the shards whose log regions get tombstoned;
+    ``sealed`` grows as :class:`SealShard` commands fold; ``active``
+    flips when :class:`ActivateEpoch` folds.
+    """
+
+    __slots__ = (
+        "number",
+        "shards",
+        "leaders",
+        "replicas",
+        "source",
+        "migration_sources",
+        "retired",
+        "sealed",
+        "active",
+        "deposed",
+    )
+
+    def __init__(
+        self,
+        number: int,
+        shards: Tuple[int, ...],
+        leaders: Dict[int, int],
+        replicas: Tuple[int, ...],
+        source: Optional[ConfigCommand],
+        migration_sources: Tuple[int, ...] = (),
+        retired: Tuple[int, ...] = (),
+        deposed: Tuple[Tuple[int, int], ...] = (),
+    ) -> None:
+        self.number = number
+        self.shards = tuple(sorted(shards))
+        self.leaders = dict(leaders)
+        self.replicas = tuple(sorted(replicas))
+        self.source = source
+        self.migration_sources = tuple(migration_sources)
+        self.retired = tuple(retired)
+        #: (shard, old_leader) pairs whose leadership this epoch revokes
+        self.deposed = tuple(deposed)
+        self.sealed: set = set()
+        self.active = number == 0
+
+    @property
+    def ring_version(self) -> int:
+        return self.number
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        leads = ",".join(
+            f"g{g}:{process_name(p)}" for g, p in sorted(self.leaders.items())
+        )
+        return (
+            f"Epoch(e{self.number}{'*' if self.active else ''} "
+            f"shards={list(self.shards)} leaders=[{leads}] "
+            f"replicas={[process_name(p) for p in self.replicas]})"
+        )
+
+
+class ConfigState:
+    """The deterministic fold of committed config commands into epochs.
+
+    One instance is shared by a service's config-log replicas; the
+    fold-once guard lives in the config log (slots fold in slot order,
+    exactly once).  ``apply`` returns the new :class:`Epoch` for an
+    accepted user command, None otherwise; rejections are recorded in
+    ``rejected`` rather than raised, because every replica must fold
+    every committed command to the same state.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        n_processes: int,
+        replicas: Tuple[int, ...],
+        max_shards: Optional[int] = None,
+    ) -> None:
+        self.n_processes = n_processes
+        #: cap on concurrently active shards (None: unlimited); enforced
+        #: in the fold so operator and autoscaler proposals alike bounce
+        self.max_shards = max_shards
+        replicas = tuple(sorted(replicas))
+        shards = tuple(range(n_shards))
+        leaders = {g: replicas[g % len(replicas)] for g in shards}
+        self.epochs: List[Epoch] = [Epoch(0, shards, leaders, replicas, None)]
+        self.active_epoch: Epoch = self.epochs[0]
+        self.next_shard_id = n_shards
+        #: (slot-ordered) commands the fold refused, with reasons
+        self.rejected: List[Tuple[ConfigCommand, str]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> Epoch:
+        return self.epochs[-1]
+
+    def epoch(self, number: int) -> Epoch:
+        return self.epochs[number]
+
+    def next_pending(self) -> Optional[Epoch]:
+        """The earliest committed-but-not-yet-active epoch, if any."""
+        number = self.active_epoch.number + 1
+        return self.epochs[number] if number < len(self.epochs) else None
+
+    def has_pending(self) -> bool:
+        return self.active_epoch.number + 1 < len(self.epochs)
+
+    # ------------------------------------------------------------------
+    def check(self, command: ConfigCommand) -> Optional[str]:
+        """Why *command* would be rejected against the latest epoch, or
+        None if it would fold cleanly (propose-time validation)."""
+        base = self.latest
+        kind = command.kind
+        if kind == RK_SPLIT:
+            if self.max_shards is not None and len(base.shards) >= self.max_shards:
+                return f"already at max_shards={self.max_shards}"
+            return None
+        if kind == RK_MERGE:
+            if command.victim not in base.shards:
+                return f"g{command.victim} is not an active shard"
+            if len(base.shards) < 2:
+                return "cannot merge away the last shard"
+            return None
+        if kind == RK_MOVE_LEADER:
+            if command.shard not in base.shards:
+                return f"g{command.shard} is not an active shard"
+            if command.pid not in base.replicas:
+                return f"{process_name(command.pid)} is not an active replica"
+            if base.leaders[command.shard] == command.pid:
+                return f"{process_name(command.pid)} already leads g{command.shard}"
+            return None
+        if kind == RK_ADD_REPLICA:
+            if not 0 <= command.pid < self.n_processes:
+                return f"{process_name(command.pid)} is outside the process pool"
+            if command.pid in base.replicas:
+                return f"{process_name(command.pid)} is already a replica"
+            return None
+        if kind == RK_REMOVE_REPLICA:
+            if command.pid not in base.replicas:
+                return f"{process_name(command.pid)} is not an active replica"
+            if len(base.replicas) < 2:
+                return "cannot remove the last replica"
+            return None
+        if kind == RK_SEAL:
+            if not 0 <= command.epoch < len(self.epochs):
+                return f"no epoch e{command.epoch}"
+            return None
+        if kind == RK_ACTIVATE:
+            if command.epoch != self.active_epoch.number + 1:
+                return (
+                    f"e{command.epoch} is not the next pending epoch "
+                    f"(active is e{self.active_epoch.number})"
+                )
+            return None
+        return f"unknown config command {command!r}"
+
+    def _least_loaded(self, leaders: Dict[int, int], replicas: Tuple[int, ...]) -> int:
+        """The replica leading the fewest shards (ties broken by pid)."""
+        load = {pid: 0 for pid in replicas}
+        for leader in leaders.values():
+            if leader in load:
+                load[leader] += 1
+        return min(replicas, key=lambda pid: (load[pid], pid))
+
+    def apply(self, command: ConfigCommand) -> Optional[Epoch]:
+        """Fold one committed command; returns the new epoch if it opened
+        one.  Rejections are recorded, never raised (see class docs)."""
+        reason = self.check(command)
+        if reason is not None:
+            self.rejected.append((command, reason))
+            return None
+        kind = command.kind
+        if kind == RK_SEAL:
+            self.epochs[command.epoch].sealed.add(command.shard)
+            return None
+        if kind == RK_ACTIVATE:
+            epoch = self.epochs[command.epoch]
+            epoch.active = True
+            self.active_epoch = epoch
+            return None
+
+        base = self.latest
+        number = len(self.epochs)
+        shards = base.shards
+        leaders = dict(base.leaders)
+        replicas = base.replicas
+        migration_sources: Tuple[int, ...] = ()
+        retired: Tuple[int, ...] = ()
+        deposed: List[Tuple[int, int]] = []
+
+        if kind == RK_SPLIT:
+            new_shard = self.next_shard_id
+            self.next_shard_id += 1
+            shards = base.shards + (new_shard,)
+            leaders[new_shard] = self._least_loaded(leaders, replicas)
+            migration_sources = base.shards
+        elif kind == RK_MERGE:
+            victim = command.victim
+            shards = tuple(g for g in base.shards if g != victim)
+            deposed.append((victim, leaders.pop(victim)))
+            migration_sources = (victim,)
+            retired = (victim,)
+        elif kind == RK_MOVE_LEADER:
+            deposed.append((command.shard, leaders[command.shard]))
+            leaders[command.shard] = command.pid
+        elif kind == RK_ADD_REPLICA:
+            replicas = tuple(sorted(base.replicas + (command.pid,)))
+        elif kind == RK_REMOVE_REPLICA:
+            replicas = tuple(p for p in base.replicas if p != command.pid)
+            for shard, leader in sorted(leaders.items()):
+                if leader == command.pid:
+                    deposed.append((shard, leader))
+                    leaders[shard] = self._least_loaded(leaders, replicas)
+        epoch = Epoch(
+            number,
+            shards,
+            leaders,
+            replicas,
+            command,
+            migration_sources=migration_sources,
+            retired=retired,
+            deposed=tuple(deposed),
+        )
+        self.epochs.append(epoch)
+        return epoch

@@ -8,7 +8,12 @@ all with a YCSB-style workload engine (open/closed loops, uniform and
 Zipfian key popularity).
 """
 
-from repro.shard.partitioner import ConsistentHashPartitioner
+from repro.shard.partitioner import (
+    ConsistentHashPartitioner,
+    HashRing,
+    RingDiff,
+    ring_diff,
+)
 from repro.shard.router import ShardFrontend, request_topic
 from repro.shard.service import ShardConfig, ShardedKV, shard_region
 from repro.shard.workload import (
@@ -27,9 +32,11 @@ from repro.shard.workload import (
 __all__ = [
     "ClosedLoopClient",
     "ConsistentHashPartitioner",
+    "HashRing",
     "KeyDistribution",
     "OpenLoopClient",
     "OperationMix",
+    "RingDiff",
     "ScriptedClient",
     "ShardConfig",
     "ShardFrontend",
@@ -40,5 +47,6 @@ __all__ = [
     "YCSB_C",
     "ZipfianKeys",
     "request_topic",
+    "ring_diff",
     "shard_region",
 ]

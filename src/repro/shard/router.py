@@ -61,12 +61,23 @@ class ShardFrontend:
         self._topics: Dict[int, str] = {}  # shard -> request topic (cached)
 
     # ------------------------------------------------------------------
-    def submit(self, command: KVCommand) -> Generator:
+    def submit(self, command: KVCommand, shard: Optional[int] = None) -> Generator:
         """Route *command* to its shard and park until it is applied here.
 
         Returns the command's state-machine result.  Resends after
         ``retry_timeout`` delays without an answer; dedup at the state
         machine makes resends idempotent.
+
+        Both the owning shard and its leader are re-resolved on every
+        retry: that is what carries in-flight requests across an elastic
+        cutover — a command stalled against a shard that sealed (or a
+        leader that was deposed) lands on the new-epoch owner on its next
+        resend, and dedup keeps the double submission at-most-once.
+
+        Pass *shard* to pin the command to an explicit group, bypassing
+        key routing — the migrator streams moved keys to their *future*
+        owner (and commits barrier probes at the old one) while client
+        routing still points at the old ring.
         """
         token = command.identity
         if token is None:
@@ -76,21 +87,22 @@ class ShardFrontend:
         if token in self.pending:
             raise ValueError(f"request {token} already in flight")
         env = self.env
-        shard = self.shard_for(command.key)
+        pinned = shard
         entry = _Pending(gate=env.new_gate("reply"))
         self.pending[token] = entry
-        topic = self._topics.get(shard)
-        if topic is None:
-            topic = self._topics[shard] = request_topic(shard)
         first = True
         while not entry.done:
             if not first:
                 self.retries += 1
             first = False
+            shard = pinned if pinned is not None else self.shard_for(command.key)
             leader = self.leader_of(shard)
             if leader == int(env.pid):
                 self.local_submit(shard, command)
             else:
+                topic = self._topics.get(shard)
+                if topic is None:
+                    topic = self._topics[shard] = request_topic(shard)
                 # ProcessId is a NewType over int: skip the wrap on the
                 # per-request path (hash/eq are identical).
                 yield env.send(leader, command, topic=topic)

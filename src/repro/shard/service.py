@@ -86,19 +86,47 @@ class ShardConfig:
             raise ConfigurationError(f"bft_shards out of range: {bad}")
 
 
+def _is_migration_client(client: Any) -> bool:
+    """Migration identities are ``("mig", epoch, source)`` tuples."""
+    return isinstance(client, tuple) and bool(client) and client[0] == "mig"
+
+
+def _migration_applies(machine: KVStateMachine) -> Tuple[int, int]:
+    """``(distinct_tokens, total_applies)`` of migration traffic on
+    *machine* — what workload accounting subtracts so reports count
+    client commands, not the transfers an elastic epoch streamed."""
+    tokens = sum(1 for token in machine.seen if _is_migration_client(token[0]))
+    applies = sum(
+        1
+        for _slot, command, _result in machine.applied
+        if isinstance(command, KVCommand) and _is_migration_client(command.client)
+    )
+    return (tokens, applies)
+
+
 class _Recorder:
-    """Collects per-request completions as client tasks finish them."""
+    """Collects per-request completions as client tasks finish them.
+
+    Stats entries are created lazily: an elastic run can add shards while
+    the workload is in flight, and completions are attributed to the key's
+    owner in the routing ring at completion time.
+    """
 
     def __init__(self, service: "ShardedKV") -> None:
         self._service = service
         self.completed = 0
         self.stats: Dict[int, ShardStats] = {
-            g: ShardStats(shard=g) for g in range(service.config.n_shards)
+            g: ShardStats(shard=g) for g in service.shards
         }
 
     def record(self, command: KVCommand, result: Any, latency: float) -> None:
         shard = self._service.partitioner.shard_for(command.key)
-        self.stats[shard].latencies.append(latency)
+        stats = self.stats.get(shard)
+        if stats is None:
+            stats = self.stats[shard] = ShardStats(shard=shard)
+        stats.latencies.append(latency)
+        now = self._service.kernel.now
+        self._service.kernel.metrics.record_shard_latency(shard, now, latency)
         self.completed += 1
 
 
@@ -108,35 +136,12 @@ class ShardedKV:
     def __init__(self, config: Optional[ShardConfig] = None) -> None:
         self.config = cfg = config or ShardConfig()
         self.partitioner = ConsistentHashPartitioner(cfg.n_shards, vnodes=cfg.vnodes)
+        #: active shard ids, in id order.  Static here; the elastic
+        #: subclass rewrites it (and the leader map) at epoch activation.
+        self.shards: List[int] = list(range(cfg.n_shards))
+        self._leader_map: Dict[int, int] = self._initial_leaders()
 
-        regions: List[RegionSpec] = []
-        for g in range(cfg.n_shards):
-            leader = self.leader_of(g)
-            if g in cfg.bft_shards:
-                for slot in range(cfg.bft_max_slots):
-                    regions.extend(
-                        cq_regions(cfg.n_processes, leader, namespace=self._cq_ns(g, slot))
-                    )
-                    regions.extend(
-                        neb_regions(range(cfg.n_processes), namespace=self._neb_ns(g, slot))
-                    )
-            else:
-                regions.extend(
-                    smr_regions(cfg.n_processes, leader, region=shard_region(g))
-                )
-
-        self.cluster = MultiGroupCluster(
-            ClusterConfig(
-                n_processes=cfg.n_processes,
-                n_memories=cfg.n_memories,
-                latency=cfg.latency,
-                seed=cfg.seed,
-                trace=cfg.trace,
-                deadline=cfg.deadline,
-            ),
-            regions,
-            faults=cfg.faults,
-        )
+        self.cluster = self._make_cluster(self._boot_regions())
         self.kernel = self.cluster.kernel
         # Per-shard fault targeting: when a process crashes its led shards
         # stall (queued commands die with it) and when it recovers, fresh
@@ -150,44 +155,100 @@ class ShardedKV:
         self._ever_crashed: set = set()
 
         #: leader-side pending commands, one queue per shard
-        self.queues: Dict[int, Deque[KVCommand]] = {
-            g: deque() for g in range(cfg.n_shards)
-        }
+        self.queues: Dict[int, Deque[KVCommand]] = {g: deque() for g in self.shards}
         self.machines: Dict[Tuple[int, int], KVStateMachine] = {}
         self.logs: Dict[Tuple[int, int], ReplicatedLog] = {}
         self.frontends: Dict[int, ShardFrontend] = {}
         self._gates: Dict[int, Any] = {}
         self._used_client_ids: set = set()
+        #: task handles per (pid, shard) replica / per (pid, shard) leader
+        #: role, so reconfiguration can retire a group or depose a leader
+        self._group_tasks: Dict[Tuple[int, int], List[Any]] = {}
+        self._lead_tasks: Dict[Tuple[int, int], List[Any]] = {}
 
         for pid in range(cfg.n_processes):
-            env = self.cluster.env_for(pid)
-            self.frontends[pid] = ShardFrontend(
-                env,
-                shard_for=self.partitioner.shard_for,
-                leader_of=self.leader_of,
-                local_submit=self._local_submit,
-                retry_timeout=cfg.retry_timeout,
-            )
-        #: per-shard (leader env, pending gate), resolved once — the submit
-        #: path runs per client request and skips the env_for lookups
+            self.frontends[pid] = self._make_frontend(pid)
+        #: per-shard (leader env, pending gate), resolved once per epoch —
+        #: the submit path runs per client request and skips env_for lookups
         self._leader_envs: Dict[int, Any] = {}
-        for g in range(cfg.n_shards):
+        for g in self.shards:
             leader_env = self.cluster.env_for(self.leader_of(g))
             self._leader_envs[g] = leader_env
             self._gates[g] = leader_env.new_gate(f"g{g}-pending")
         self._spawn_replicas()
 
     # ------------------------------------------------------------------
+    # assembly hooks (overridden by the elastic service)
+    # ------------------------------------------------------------------
+    def _initial_leaders(self) -> Dict[int, int]:
+        """Boot leader map: groups round-robin across processes."""
+        return {g: g % self.config.n_processes for g in self.shards}
+
+    def _boot_regions(self) -> List[RegionSpec]:
+        """The memory regions every boot shard's backend needs."""
+        cfg = self.config
+        regions: List[RegionSpec] = []
+        for g in self.shards:
+            leader = self.leader_of(g)
+            if g in cfg.bft_shards:
+                for slot in range(cfg.bft_max_slots):
+                    regions.extend(
+                        cq_regions(cfg.n_processes, leader, namespace=self._cq_ns(g, slot))
+                    )
+                    regions.extend(
+                        neb_regions(range(cfg.n_processes), namespace=self._neb_ns(g, slot))
+                    )
+            else:
+                regions.extend(
+                    smr_regions(cfg.n_processes, leader, region=shard_region(g))
+                )
+        return regions
+
+    #: cluster runner class; the elastic service swaps in ElasticCluster
+    _cluster_class = MultiGroupCluster
+
+    def _make_frontend(self, pid: int) -> ShardFrontend:
+        """One process's request router (boot and crash-recovery rebuilds)."""
+        return ShardFrontend(
+            self.cluster.env_for(pid),
+            shard_for=self.partitioner.shard_for,
+            leader_of=self.leader_of,
+            local_submit=self._local_submit,
+            retry_timeout=self.config.retry_timeout,
+        )
+
+    def _make_cluster(self, regions: Sequence[RegionSpec]) -> MultiGroupCluster:
+        cfg = self.config
+        return self._cluster_class(
+            ClusterConfig(
+                n_processes=cfg.n_processes,
+                n_memories=cfg.n_memories,
+                latency=cfg.latency,
+                seed=cfg.seed,
+                trace=cfg.trace,
+                deadline=cfg.deadline,
+            ),
+            regions,
+            faults=cfg.faults,
+        )
+
+    # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
+    @property
+    def active_replicas(self) -> List[int]:
+        """Processes hosting shard replicas (all of them, when static)."""
+        return list(range(self.config.n_processes))
+
     def leader_of(self, shard: int) -> int:
-        """Static per-shard leader: groups round-robin across processes."""
-        return shard % self.config.n_processes
+        """The shard's current leader (static round-robin by default;
+        rewritten per epoch by the elastic service)."""
+        return self._leader_map[shard]
 
     def shards_led_by(self, pid: int) -> List[int]:
         """The shards whose leader runs on *pid* (fault-targeting helper:
         crashing *pid* churns exactly these shards)."""
-        return [g for g in range(self.config.n_shards) if self.leader_of(g) == pid]
+        return [g for g in self.shards if self.leader_of(g) == pid]
 
     def _cq_ns(self, shard: int, slot: int) -> str:
         return f"g{shard}cq{slot}"
@@ -207,9 +268,9 @@ class ShardedKV:
     # ------------------------------------------------------------------
     def _spawn_replicas(self) -> None:
         cfg = self.config
-        for g in range(cfg.n_shards):
+        for g in self.shards:
             leader = self.leader_of(g)
-            for pid in range(cfg.n_processes):
+            for pid in self.active_replicas:
                 if g in cfg.bft_shards:
                     env = self.cluster.env_for(pid)
                     machine = KVStateMachine()
@@ -244,20 +305,45 @@ class ShardedKV:
             recovered=recovered,
         )
         self.logs[(pid, shard)] = log
-        self.cluster.spawn(pid, f"g{shard}-listen-p{pid+1}", log.listener())
-        self.cluster.spawn(pid, f"g{shard}-sync-p{pid+1}", log.sync_server())
+        replica_tasks = self._group_tasks.setdefault((pid, shard), [])
+        replica_tasks.append(
+            self.cluster.spawn(pid, f"g{shard}-listen-p{pid+1}", log.listener())
+        )
+        replica_tasks.append(
+            self.cluster.spawn(pid, f"g{shard}-sync-p{pid+1}", log.sync_server())
+        )
         if pid == leader:
-            self.cluster.spawn(pid, f"g{shard}-propose", self._proposer(shard, env, log))
-            self.cluster.spawn(pid, f"g{shard}-accept", self._acceptor(shard, env))
+            self._spawn_leader_role(pid, shard, env, log)
         elif recovered:
-            self.cluster.spawn(pid, f"g{shard}-catchup-p{pid+1}", log.catchup())
+            replica_tasks.append(
+                self.cluster.spawn(pid, f"g{shard}-catchup-p{pid+1}", log.catchup())
+            )
+
+    def _spawn_leader_role(self, pid: int, shard: int, env, log: ReplicatedLog) -> None:
+        """Spawn the leader-side tasks of *shard* on *pid* (proposer +
+        request intake), tracked separately so a leadership move can
+        depose them without killing the replica underneath."""
+        lead_tasks = self._lead_tasks.setdefault((pid, shard), [])
+        lead_tasks.append(
+            self.cluster.spawn(pid, f"g{shard}-propose", self._proposer(shard, env, log))
+        )
+        lead_tasks.append(
+            self.cluster.spawn(pid, f"g{shard}-accept", self._acceptor(shard, env))
+        )
 
     def _make_apply(self, pid: int, shard: int, machine: KVStateMachine):
-        """Apply committed entries and answer this process's waiting clients."""
-        frontend = self.frontends[pid]
+        """Apply committed entries and answer this process's waiting clients.
+
+        Frontends are looked up per apply, not captured: a recovered
+        process's rebuilt frontend must answer, not its dead predecessor.
+        (Per-shard commit crediting happens on the leader's propose path,
+        not here — followers must not pay bookkeeping on the apply hot
+        path just to find out they are not the leader.)
+        """
 
         def apply_fn(slot: int, value: Any) -> None:
             results = machine.apply(slot, value)
+            frontend = self.frontends[pid]
             if isinstance(value, Batch):
                 for command, result in zip(value.commands, results):
                     frontend.complete(command, result)
@@ -295,11 +381,24 @@ class ShardedKV:
                 env.signal(gate)
                 gate.clear()
 
+    def _drainable(self, shard: int, command: KVCommand) -> bool:
+        """May *shard*'s leader commit *command*?  Always, when static.
+
+        The elastic service overrides this with the seal filter: once an
+        epoch transition seals a shard, commands for keys that moved away
+        are dropped here — never committed, never answered — so the
+        client's resend re-routes them to the new-epoch owner and dedup
+        keeps the whole affair at-most-once.
+        """
+        return True
+
     def _drain(self, shard: int) -> Tuple[KVCommand, ...]:
         queue = self.queues[shard]
         batch: List[KVCommand] = []
         while queue and len(batch) < self.config.batch_max:
-            batch.append(queue.popleft())
+            command = queue.popleft()
+            if self._drainable(shard, command):
+                batch.append(command)
         return tuple(batch)
 
     def _proposer(self, shard: int, env, log: ReplicatedLog) -> Generator:
@@ -309,14 +408,24 @@ class ShardedKV:
         first re-runs the takeover prepare and re-commits every previously
         accepted slot before serving new traffic.
         """
+        ledger = self.kernel.metrics
         if not log.permissions_held:
             yield from log.recover_leader()
         slot = log.applied_upto + 1
         while True:
-            if not self.queues[shard]:
+            batch = self._drain(shard) if self.queues[shard] else ()
+            if not batch:
+                # nothing to commit — including a queue the seal filter
+                # emptied (an elastic source mid-cutover): parking beats
+                # burning a consensus instance on an empty batch per
+                # client retry cycle
                 yield env.gate_wait(self._gates[shard], timeout=self.config.idle_poll)
                 continue
-            yield from log.propose_batch(slot, self._drain(shard))
+            decided = yield from log.propose_batch(slot, batch)
+            # per-shard commit rate (what the autoscaler differentiates),
+            # credited once by the committing leader — not per replica
+            if type(decided) is Batch and decided.commands:
+                ledger.count_shard_commit(shard, len(decided.commands))
             slot = log.applied_upto + 1
 
     def _bft_driver(self, shard: int, env, machine: KVStateMachine) -> Generator:
@@ -360,6 +469,8 @@ class ShardedKV:
             )
             results = machine.apply(slot, decided)
             if isinstance(decided, Batch):
+                if decided.commands and int(env.pid) == leader:
+                    self.kernel.metrics.count_shard_commit(shard, len(decided.commands))
                 for command, result in zip(decided.commands, results):
                     frontend.complete(command, result)
 
@@ -391,14 +502,8 @@ class ShardedKV:
         """
         pid = int(pid)
         cfg = self.config
-        self.frontends[pid] = ShardFrontend(
-            self.cluster.env_for(pid),
-            shard_for=self.partitioner.shard_for,
-            leader_of=self.leader_of,
-            local_submit=self._local_submit,
-            retry_timeout=cfg.retry_timeout,
-        )
-        for g in range(cfg.n_shards):
+        self.frontends[pid] = self._make_frontend(pid)
+        for g in self.shards:
             if g not in cfg.bft_shards:
                 self._spawn_pmp_replica(pid, g, recovered=True)
 
@@ -414,10 +519,10 @@ class ShardedKV:
         """
         crashed = self.kernel.crashed_processes
         bft = self.config.bft_shards
-        for g in range(self.config.n_shards):
+        for g in self.shards:
             counts = {
                 self.machines[(pid, g)].applied_count
-                for pid in range(self.config.n_processes)
+                for pid in self.active_replicas
                 if pid not in crashed
                 and not (g in bft and pid in self._ever_crashed)
             }
@@ -457,14 +562,19 @@ class ShardedKV:
         self._used_client_ids.update(ids)
         total = sum(client.n_ops for client in clients)
         started_at = self.kernel.now
+        # Baselines capture the leader MACHINE, not just counters: a shard
+        # merged away mid-run keeps its machine (and its committed work
+        # must still be reported) even after the topology forgets it.
         baseline = {
-            g: (machine.applied_count, machine.duplicates,
-                machine.batches_applied, machine.empty_batches)
-            for g in range(self.config.n_shards)
+            g: (machine, machine.applied_count, machine.duplicates,
+                machine.batches_applied, machine.empty_batches,
+                _migration_applies(machine))
+            for g in self.shards
             for machine in (self.machines[(self.leader_of(g), g)],)
         }
+        pool = self.active_replicas
         for index, client in enumerate(clients):
-            pid = client.pid if client.pid is not None else index % self.config.n_processes
+            pid = client.pid if client.pid is not None else pool[index % len(pool)]
             env = self.cluster.env_for(pid)
             self.cluster.spawn(
                 pid,
@@ -477,13 +587,30 @@ class ShardedKV:
 
         self.cluster.run_until(goal, deadline)
 
-        for g in range(self.config.n_shards):
-            machine = self.machines[(self.leader_of(g), g)]
-            applied0, duplicates0, batches0, empty0 = baseline[g]
-            stats = recorder.stats[g]
-            stats.duplicates = machine.duplicates - duplicates0
+        # Close out every shard the run touched: the boot set (baselines,
+        # including any shard merged away mid-run) plus shards added by a
+        # mid-run split (zero baselines).  Migration transfers ride the
+        # same logs but are NOT client traffic: their applies (and their
+        # dedup'd replays) are subtracted so committed_commands keeps
+        # meaning "distinct client commands this workload committed".
+        closing = dict(baseline)
+        for g in self.shards:
+            if g not in closing:
+                machine = self.machines[(self.leader_of(g), g)]
+                closing[g] = (machine, 0, 0, 0, 0, (0, 0))
+        for g, (machine, applied0, duplicates0, batches0, empty0, mig0) in (
+            closing.items()
+        ):
+            mig_tokens, mig_applies = _migration_applies(machine)
+            mig_tokens0, mig_applies0 = mig0
+            mig_first = mig_tokens - mig_tokens0
+            mig_dup = (mig_applies - mig_applies0) - mig_first
+            stats = recorder.stats.setdefault(g, ShardStats(shard=g))
+            stats.duplicates = (machine.duplicates - duplicates0) - mig_dup
             stats.committed_commands = (
-                (machine.applied_count - applied0) - stats.duplicates
+                (machine.applied_count - applied0)
+                - (machine.duplicates - duplicates0)
+                - mig_first
             )
             # idle heartbeats (empty batches) are excluded so batch fill
             # measures how well real traffic amortised consensus instances

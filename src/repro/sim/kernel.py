@@ -257,6 +257,23 @@ class Kernel:
         fault timers: the queue entry carries the event object itself."""
         self.queue.push(max(time, self.now), EV_FAULT, event)
 
+    def register_regions(self, specs) -> None:
+        """Register new memory regions at runtime (elastic reconfiguration).
+
+        Mirrors RDMA memory registration: the shared layout grows and the
+        region's boot permission is installed on every memory — crashed
+        ones included, since a region's permission state is hardware
+        state that is simply present when the memory revives.  Idempotent
+        per region id, so a coordinator re-running an epoch after a crash
+        neither duplicates regions nor resets permissions its first
+        attempt already moved.
+        """
+        for spec in specs:
+            if self.layout.by_id(spec.region_id) is None:
+                self.layout.add(spec)
+            for memory in self.memories:
+                memory.add_region(spec)
+
     # ------------------------------------------------------------------
     # failure injection
     # ------------------------------------------------------------------

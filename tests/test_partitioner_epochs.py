@@ -1,0 +1,160 @@
+"""Versioned hash rings: staging, diffs, cache hygiene, split stability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.shard.partitioner import (
+    CIRCLE,
+    ConsistentHashPartitioner,
+    HashRing,
+    ring_diff,
+)
+
+
+class TestRingBasics:
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashPartitioner(4)
+        b = ConsistentHashPartitioner(4)
+        assert [a.shard_for(f"k{i}") for i in range(300)] == [
+            b.shard_for(f"k{i}") for i in range(300)
+        ]
+
+    def test_identical_rings_have_empty_diff(self):
+        a = HashRing(0, range(4), 64, "")
+        b = HashRing(1, range(4), 64, "")
+        diff = ring_diff(a, b)
+        assert diff.intervals == ()
+        assert diff.moved_fraction == 0.0
+
+    def test_owner_of_matches_shard_for_at_boundaries(self):
+        ring = HashRing(0, range(3), 16, "")
+        for point in ring._points[:10]:
+            assert ring.owner_of(point) in ring.shards
+
+    def test_stage_requires_monotonic_versions(self):
+        partitioner = ConsistentHashPartitioner(2)
+        partitioner.stage(1, [0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            partitioner.stage(1, [0, 1, 3])  # same version, different shards
+        with pytest.raises(ConfigurationError):
+            partitioner.stage(0, [0, 1, 2, 3])  # not newest
+        # idempotent re-stage of the same shard set is fine (coordinator retry)
+        diff = partitioner.stage(1, [0, 1, 2])
+        assert diff.new_version == 1
+
+    def test_activate_requires_staged_ring(self):
+        partitioner = ConsistentHashPartitioner(2)
+        with pytest.raises(ConfigurationError):
+            partitioner.activate(3)
+
+    def test_versioned_lookup_sees_both_rings(self):
+        partitioner = ConsistentHashPartitioner(2)
+        partitioner.stage(1, [0, 1, 2])
+        keys = [f"key{i}" for i in range(500)]
+        future_owners = {k: partitioner.shard_for(k, version=1) for k in keys}
+        assert any(owner == 2 for owner in future_owners.values())
+        # routing still answers from ring 0
+        assert all(partitioner.shard_for(k) in (0, 1) for k in keys)
+        partitioner.activate(1)
+        assert all(partitioner.shard_for(k) == future_owners[k] for k in keys)
+
+
+class TestCacheHygiene:
+    """The satellite fix: the memo is ring-keyed and bounded."""
+
+    def test_cache_invalidated_by_activation(self):
+        partitioner = ConsistentHashPartitioner(2)
+        keys = [f"key{i}" for i in range(400)]
+        before = {k: partitioner.shard_for(k) for k in keys}  # warm the memo
+        partitioner.stage(1, [0, 1, 2])
+        partitioner.activate(1)
+        after = {k: partitioner.shard_for(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        assert moved, "a 2->3 split must move some keys"
+        # every lookup matches a fresh partitioner built on the same ring:
+        # stale memo entries would leak pre-split owners here
+        fresh = ConsistentHashPartitioner(3)
+        fresh._rings[0] = partitioner.ring(1)
+        fresh._current = partitioner.ring(1)
+        assert all(after[k] == fresh.shard_for(k) for k in keys)
+
+    def test_cache_is_bounded(self):
+        partitioner = ConsistentHashPartitioner(2, cache_max=64)
+        for i in range(1000):
+            partitioner.shard_for(f"key{i}")
+        assert len(partitioner._cache) <= 64
+        # overflow keys are still answered correctly, just not memoised
+        assert partitioner.shard_for("key999") == partitioner.ring().shard_for("key999")
+
+    def test_cache_hit_returns_same_owner(self):
+        partitioner = ConsistentHashPartitioner(4)
+        cold = partitioner.shard_for("alpha")
+        assert partitioner.shard_for("alpha") == cold  # memoised path
+
+
+class TestDiff:
+    def test_split_moves_only_to_the_new_shard(self):
+        partitioner = ConsistentHashPartitioner(4)
+        diff = partitioner.stage(1, [0, 1, 2, 3, 4])
+        assert diff.pairs()  # something moves
+        assert all(new == 4 for _old, new in diff.pairs())
+
+    def test_merge_moves_only_from_the_victim(self):
+        partitioner = ConsistentHashPartitioner(4)
+        diff = partitioner.stage(1, [0, 1, 3])  # retire shard 2
+        assert all(old == 2 for old, _new in diff.pairs())
+        assert all(new in (0, 1, 3) for _old, new in diff.pairs())
+
+    def test_movement_of_agrees_with_owner_comparison(self):
+        partitioner = ConsistentHashPartitioner(3)
+        diff = partitioner.stage(1, [0, 1, 2, 3])
+        for i in range(800):
+            key = f"key{i}"
+            old = partitioner.shard_for(key, version=0)
+            new = partitioner.shard_for(key, version=1)
+            movement = diff.movement_of(key)
+            if old == new:
+                assert movement is None
+            else:
+                assert movement == (old, new)
+
+    def test_moved_fraction_tracks_interval_mass(self):
+        partitioner = ConsistentHashPartitioner(2)
+        diff = partitioner.stage(1, [0, 1, 2])
+        total = sum((hi - lo) % CIRCLE for lo, hi, _o, _n in diff.intervals)
+        assert diff.moved_fraction == pytest.approx(total / CIRCLE)
+        assert 0.0 < diff.moved_fraction < 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_shards=st.integers(min_value=2, max_value=6),
+    sample_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_split_property(n_shards, sample_seed):
+    """Splitting n -> n+1 moves ~1/(n+1) of a sampled keyspace, always to
+    the new shard, and never moves a key between two unaffected shards."""
+    import random
+
+    rng = random.Random(sample_seed)
+    partitioner = ConsistentHashPartitioner(n_shards, vnodes=64)
+    new_shard = n_shards  # ids are dense from boot
+    diff = partitioner.stage(1, list(range(n_shards)) + [new_shard])
+    keys = [f"key-{rng.randrange(10**9)}" for _ in range(1500)]
+    moved = 0
+    for key in keys:
+        old = partitioner.shard_for(key, version=0)
+        new = partitioner.shard_for(key, version=1)
+        if old != new:
+            moved += 1
+            # a key only ever moves TO the newly added shard — never
+            # between two shards untouched by the split
+            assert new == new_shard, (key, old, new)
+    fraction = moved / len(keys)
+    expected = 1.0 / (n_shards + 1)
+    # vnode placement is random-ish; allow generous slack around 1/(n+1)
+    assert 0.25 * expected <= fraction <= 2.5 * expected, (fraction, expected)
+    # and the analytic interval mass agrees with the sampled rate
+    assert abs(diff.moved_fraction - fraction) < 0.12
