@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A tour of the sharded KV's read paths.
+
+The same read-mostly Zipfian workload served four ways:
+
+* ``consensus`` — every get is committed through the shard's log (the
+  seed behaviour: linearizable, but each read burns consensus bandwidth);
+* ``leader``    — permission-fenced leader reads: the leader serves from
+  local applied state and validates its exclusive write grant with one
+  zero-length probe per drained batch (linearizable at the probe);
+* ``quorum``    — one-sided quorum reads: commit watermark + missing
+  entries straight from a majority of memories, no leader involvement
+  (linearizable via the ABD-style watermark write-back);
+* ``local``     — session-consistent reads from the client's own replica
+  (read-your-writes / monotonic reads, not linearizable).
+
+Run:  python examples/read_modes.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics.reporting import format_table  # noqa: E402
+from repro.shard import (  # noqa: E402
+    ClosedLoopClient,
+    OperationMix,
+    ShardConfig,
+    ShardedKV,
+    ZipfianKeys,
+)
+
+N_CLIENTS = 24
+OPS = 15
+
+
+def main() -> None:
+    print(
+        "Read paths over a 2-shard replicated KV "
+        f"({N_CLIENTS} closed-loop clients, 95% reads, Zipfian keys)\n"
+    )
+    rows = []
+    for mode in ("consensus", "leader", "quorum", "local"):
+        service = ShardedKV(
+            ShardConfig(
+                n_shards=2, batch_max=4, seed=7, read_mode=mode,
+                deadline=10.0**6,
+            )
+        )
+        clients = [
+            ClosedLoopClient(
+                client_id=i, n_ops=OPS, keys=ZipfianKeys(128, prefix="rk"),
+                mix=OperationMix(read_fraction=0.95),
+            )
+            for i in range(N_CLIENTS)
+        ]
+        report = service.run_workload(clients)
+        assert report.ok
+        ledger = service.kernel.metrics
+        reads = report.read_latency_summary()
+        rows.append(
+            [
+                mode,
+                f"{1000.0 * report.reads_per_delay:.0f}",
+                f"{reads.p50:.0f}",
+                f"{reads.p99:.0f}",
+                f"{report.achieved_read_fraction:.3f}",
+                ledger.total_reads_served(mode) if mode != "consensus" else "-",
+                ledger.staleness_violations,
+            ]
+        )
+    print(
+        format_table(
+            ["mode", "reads/ktime", "p50", "p99", "achieved mix",
+             "served off-log", "stale"],
+            rows,
+        )
+    )
+    print(
+        "\nconsensus reads queue behind the log's batches; the fenced and"
+        "\none-sided paths answer without consensus instances — and the"
+        "\nstaleness tripwire stayed at zero everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,12 @@ from repro.shard import (
     ConsistentHashPartitioner,
     OpenLoopClient,
     OperationMix,
+    READ_CONSENSUS,
+    READ_LEADER,
+    READ_LOCAL,
+    READ_MODES,
+    READ_QUORUM,
+    ReadSession,
     ScriptedClient,
     ShardConfig,
     ShardedKV,
@@ -150,6 +156,12 @@ __all__ = [
     "PmpConfig",
     "PreferentialPaxosConfig",
     "ProtectedMemoryPaxos",
+    "READ_CONSENSUS",
+    "READ_LEADER",
+    "READ_LOCAL",
+    "READ_MODES",
+    "READ_QUORUM",
+    "ReadSession",
     "RemoveReplica",
     "ReplicatedLog",
     "RobustBackup",

@@ -18,6 +18,12 @@ module                            algorithm
 from repro.consensus.ballots import Ballot
 from repro.consensus.base import ConsensusProtocol, ProposerOutcome
 from repro.consensus.omega import crash_aware_omega, leader_schedule, stable_leader
+from repro.consensus.probes import (
+    probe_write_grant,
+    publish_watermark,
+    read_quorum_watermarks,
+    watermark_key,
+)
 
 __all__ = [
     "Ballot",
@@ -26,4 +32,8 @@ __all__ = [
     "crash_aware_omega",
     "leader_schedule",
     "stable_leader",
+    "probe_write_grant",
+    "publish_watermark",
+    "read_quorum_watermarks",
+    "watermark_key",
 ]

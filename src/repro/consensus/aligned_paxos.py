@@ -35,6 +35,7 @@ from repro.consensus.base import ConsensusProtocol, DirectTransport, wait_until
 from repro.consensus.chains import ChainRunner
 from repro.consensus.messages import Accept, Decision, Prepare
 from repro.consensus.paxos import PaxosConfig, PaxosNode
+from repro.consensus.probes import probe_write_grant
 from repro.consensus.protected_memory_paxos import PmpSlot
 from repro.mem.permissions import Permission, exclusive_grab_policy
 from repro.mem.regions import RegionSpec
@@ -111,6 +112,16 @@ class AlignedNode:
 
     def pump(self) -> Generator:
         yield from self.node.pump()
+
+    def grant_probe(self, timeout: Optional[float] = None) -> Generator:
+        """One-sided fence check against the memory-agent half: True iff
+        this process's exclusive write grant is still installed at a
+        majority of memories.  Meaningful only for the ``protected``
+        variant — the disk variant has no permissions to probe, so the
+        check degenerates to True whenever a majority responds (callers
+        must not treat that as a fence)."""
+        held = yield from probe_write_grant(self.env, REGION, timeout=timeout)
+        return held
 
     def proposer(self) -> Generator:
         env = self.env

@@ -1,0 +1,147 @@
+"""One-sided read probes for permission-fenced protocols.
+
+Three primitives the non-consensus read paths are built from, shared by
+Protected Memory Paxos, Aligned Paxos and the replicated-log layer:
+
+* :func:`probe_write_grant` — the **fence check**: a zero-length
+  permission probe on every memory, true iff the caller's exclusive
+  write grant is still installed at a majority.  A leader whose grant
+  probe succeeds at time ``t`` knows no other leader can have committed
+  anything it has not seen before ``t`` (committing requires holding the
+  grant at a majority, majorities intersect, and a grant moves only
+  through the full takeover prepare) — so its local applied state is
+  linearizable to serve as of ``t``.
+* :func:`read_quorum_watermarks` — the **watermark read**: snapshot the
+  per-writer commit-watermark registers from a majority and take the
+  max.  Because a writer publishes watermark ``s`` only after slot ``s``
+  is majority-written (and waits for a majority ACK before answering any
+  client), the max over any majority covers every write a client ever
+  saw complete.
+* :func:`publish_watermark` — the **watermark write**: install a slot
+  index in the caller's own watermark register on every memory and wait
+  for a majority.  Leaders publish after each commit; quorum readers
+  write back the watermark they observed (the ABD read write-back) so a
+  later reader can never observe an older quorum than one already
+  served.
+
+All three are plain generators over :class:`~repro.sim.environment.
+ProcessEnv` — each costs one two-delay memory round, issued to all
+memories in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.mem.operations import ProbeOp, SnapshotOp, WriteOp
+from repro.sim.environment import ProcessEnv
+from repro.types import RegionId
+
+#: name component of per-writer watermark registers: ``(region, WM, pid)``
+WM = "wm"
+
+
+def watermark_key(rx_region: RegionId, pid: int) -> tuple:
+    """The per-writer commit-watermark register of *pid* in *rx_region*."""
+    return (rx_region, WM, int(pid))
+
+
+def _tally(futures) -> Tuple[int, int]:
+    acked = naked = 0
+    for future in futures:
+        if future.done:
+            if future.ok:
+                acked += 1
+            else:
+                naked += 1
+    return acked, naked
+
+
+def _await_verdict(
+    env: ProcessEnv, futures, majority: int, timeout: Optional[float]
+) -> Generator:
+    """Park until *majority* ACKs (True), too many NAKs (False), or the
+    timeout lapses (False).  NAKs short-circuit: once more than
+    ``m - majority`` memories refused, a majority of ACKs is impossible."""
+    deadline = None if timeout is None else env.now + timeout
+    max_naks = env.n_memories - majority
+    while True:
+        acked, naked = _tally(futures)
+        if acked >= majority:
+            return True
+        if naked > max_naks:
+            return False
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - env.now
+            if remaining <= 0:
+                return False
+        yield env.wait(futures, count=min(len(futures), acked + naked + 1),
+                       timeout=remaining)
+        if deadline is not None and env.now >= deadline:
+            acked, _ = _tally(futures)
+            return acked >= majority
+
+
+def probe_write_grant(
+    env: ProcessEnv, region: RegionId, timeout: Optional[float] = None
+) -> Generator:
+    """True iff this process holds the exclusive write grant on *region*
+    at a majority of memories right now (the one-sided fence check)."""
+    op = ProbeOp(region, "write")
+    futures = yield from env.invoke_on_all(lambda mid: op)
+    held = yield from _await_verdict(
+        env, futures, env.majority_of_memories(), timeout
+    )
+    return held
+
+
+def read_quorum_watermarks(
+    env: ProcessEnv, rx_region: RegionId, timeout: Optional[float] = None
+) -> Generator:
+    """Read every watermark register from a majority of memories.
+
+    Returns ``(watermark, confirmed)`` where *watermark* is the max slot
+    index seen (``-1`` when nothing was ever published) and *confirmed*
+    is True when a majority of the responding views already carry that
+    max — in which case a reader may skip the write-back round (the value
+    is provably durable at a majority).  Returns ``(None, False)`` when a
+    majority cannot be assembled (memories down, or the region fenced
+    away by a reconfiguration).
+    """
+    majority = env.majority_of_memories()
+    op = SnapshotOp(rx_region, (rx_region,))
+    futures = yield from env.invoke_on_all(lambda mid: op)
+    ok = yield from _await_verdict(env, futures, majority, timeout)
+    if not ok:
+        return None, False
+    views = [f.value for f in futures if f.done and f.ok]
+    watermark = -1
+    for view in views:
+        for value in view.values():
+            if isinstance(value, int) and value > watermark:
+                watermark = value
+    confirmed = sum(
+        1
+        for view in views
+        if any(isinstance(v, int) and v >= watermark for v in view.values())
+    )
+    return watermark, confirmed >= majority
+
+
+def publish_watermark(
+    env: ProcessEnv,
+    rx_region: RegionId,
+    slot: int,
+    timeout: Optional[float] = None,
+) -> Generator:
+    """Install *slot* in this process's watermark register, majority-acked.
+
+    Per-writer registers keep concurrent publishers from clobbering each
+    other; the caller is responsible for keeping its own register
+    monotone (see ``ReplicatedLog._publish_watermark``).
+    """
+    op = WriteOp(rx_region, watermark_key(rx_region, int(env.pid)), int(slot))
+    futures = yield from env.invoke_on_all(lambda mid: op)
+    ok = yield from _await_verdict(env, futures, env.majority_of_memories(), timeout)
+    return ok

@@ -25,6 +25,7 @@ from repro.consensus.ballots import Ballot
 from repro.consensus.chains import ChainRunner
 from repro.consensus.messages import Decision
 from repro.consensus.base import ConsensusProtocol
+from repro.consensus.probes import probe_write_grant
 from repro.mem.permissions import Permission, exclusive_grab_policy
 from repro.mem.regions import RegionSpec
 from repro.sim.environment import ProcessEnv
@@ -111,6 +112,20 @@ class PmpNode:
             self.decided = True
             self.decided_value = value
             self.env.decide(value)
+
+    def grant_probe(self, timeout: Optional[float] = None) -> Generator:
+        """One-sided fence check: is this process's exclusive write grant
+        still installed at a majority of memories?
+
+        This is what makes permission-fenced local reads sound (Lemma
+        D.3 re-used for reads): an ACK majority at probe time ``t``
+        proves no competing leader can have committed a value before
+        ``t`` that this process has not adopted — any such commit would
+        have required taking the grant at an intersecting memory, and
+        grants return only through this process's own prepare.
+        """
+        held = yield from probe_write_grant(self.env, REGION, timeout=timeout)
+        return held
 
     # ------------------------------------------------------------------
     def proposer(self) -> Generator:

@@ -48,6 +48,10 @@ class ValidityViolation(SafetyViolation):
     """A decided value was not an input of any process."""
 
 
+class StalenessViolation(SafetyViolation):
+    """A non-consensus read returned state older than its session floor."""
+
+
 class SignatureError(ReproError):
     """A signature operation was attempted with a key the caller lacks."""
 

@@ -9,7 +9,14 @@ memories hang: operations sent to them never return.
 
 from repro.mem.layout import MemoryLayout
 from repro.mem.memory import Memory
-from repro.mem.operations import ChangePermissionOp, ReadOp, SnapshotOp, WriteOp
+from repro.mem.operations import (
+    ChangePermissionOp,
+    ProbeOp,
+    ReadOp,
+    ReadSnapshotOp,
+    SnapshotOp,
+    WriteOp,
+)
 from repro.mem.permissions import (
     Permission,
     allow_any_change,
@@ -24,7 +31,9 @@ __all__ = [
     "Memory",
     "MemoryLayout",
     "Permission",
+    "ProbeOp",
     "ReadOp",
+    "ReadSnapshotOp",
     "RegionSpec",
     "SnapshotOp",
     "WriteOp",

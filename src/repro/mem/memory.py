@@ -20,7 +20,9 @@ from repro.mem.layout import MemoryLayout
 from repro.mem.operations import (
     ChangePermissionOp,
     MemoryOp,
+    ProbeOp,
     ReadOp,
+    ReadSnapshotOp,
     SnapshotOp,
     WriteOp,
 )
@@ -52,6 +54,7 @@ class OpCounts:
     writes: int = 0
     snapshots: int = 0
     permission_changes: int = 0
+    probes: int = 0
     naks: int = 0
 
 
@@ -70,7 +73,8 @@ class Memory:
         # Flat handler table indexed by the operation's ``kind`` tag
         # (see repro.mem.operations); order must match the OP_* numbering.
         self._op_handlers = (self._read, self._write, self._snapshot,
-                             self._change_permission)
+                             self._change_permission, self._probe,
+                             self._read_snapshot)
 
     # ------------------------------------------------------------------
     # failure injection
@@ -160,6 +164,41 @@ class Memory:
             for key, value in self.registers.items()
             if key[: len(prefix)] == prefix
         }
+        return OpResult(_ACK, view)
+
+    def _probe(self, pid: ProcessId, op: ProbeOp) -> OpResult:
+        self.counts.probes += 1
+        spec, perm = self._spec_and_permission(op.region)
+        if spec is None:
+            self.counts.naks += 1
+            return _NAK_RESULT
+        held = perm.can_write(pid) if op.access == "write" else perm.can_read(pid)
+        if not held:
+            self.counts.naks += 1
+            return _NAK_RESULT
+        return _ACK_RESULT
+
+    def _read_snapshot(self, pid: ProcessId, op: ReadSnapshotOp) -> OpResult:
+        self.counts.snapshots += 1
+        spec, perm = self._spec_and_permission(op.region)
+        if spec is None or not perm.can_read(pid):
+            self.counts.naks += 1
+            return _NAK_RESULT
+        prefix = op.prefix
+        if not spec.contains(prefix):
+            self.counts.naks += 1
+            return _NAK_RESULT
+        floor = op.floor
+        cut = len(prefix)
+        view = {}
+        for key, value in self.registers.items():
+            if key[:cut] != prefix:
+                continue
+            if floor is not None and len(key) > cut:
+                index = key[cut]
+                if isinstance(index, int) and index < floor:
+                    continue
+            view[key] = value
         return OpResult(_ACK, view)
 
     def _change_permission(self, pid: ProcessId, op: ChangePermissionOp) -> OpResult:

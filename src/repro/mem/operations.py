@@ -27,6 +27,8 @@ OP_READ = 0
 OP_WRITE = 1
 OP_SNAPSHOT = 2
 OP_CHANGE_PERMISSION = 3
+OP_PROBE = 4
+OP_READ_SNAPSHOT = 5
 
 
 class _OpBase:
@@ -101,4 +103,55 @@ class ChangePermissionOp(_OpBase):
         self.new_permission = new_permission
 
 
-MemoryOp = ReadOp | WriteOp | SnapshotOp | ChangePermissionOp
+class ProbeOp(_OpBase):
+    """A zero-length permission probe: does the caller hold *access*?
+
+    The RDMA idiom is a zero-byte verb posted on the queue pair: it moves
+    no data, but it completes successfully only if the caller's permission
+    on the region is still installed — which is exactly the fence check a
+    Protected-Memory-Paxos leader needs before serving a linearizable
+    read from local state.  ``access`` is ``"write"`` (the exclusive-grant
+    fence) or ``"read"``.  Resolves to ``OpResult(ACK)`` when the
+    permission is held, NAK otherwise; no register is touched either way.
+    """
+
+    __slots__ = ("region", "access")
+    kind = OP_PROBE
+
+    def __init__(self, region: RegionId, access: str = "write") -> None:
+        if access not in ("read", "write"):
+            raise ValueError(f"unknown probe access {access!r}")
+        self.region = region
+        self.access = access
+
+
+class ReadSnapshotOp(_OpBase):
+    """Snapshot a slot array, skipping integer-indexed entries below *floor*.
+
+    The quorum read path's op: a reader that has already applied slots
+    ``< floor`` asks each memory only for the suffix it is missing (plus
+    any non-integer-indexed registers, e.g. commit watermarks) — the
+    doorbell/merge discipline of batching one bounded read per memory
+    instead of re-transferring the whole region per read.  Filtering
+    happens at the memory (the RDMA analogue of an offset read), so the
+    response payload stays proportional to the reader's lag, not to the
+    log length.  Same permission rule and two-delay cost as
+    :class:`SnapshotOp`; ``floor=None`` degenerates to a plain snapshot.
+
+    A register rides the response iff its key extends *prefix* and the
+    key component right after the prefix is either not an ``int`` (named
+    registers always ride along) or ``>= floor``.
+    """
+
+    __slots__ = ("region", "prefix", "floor")
+    kind = OP_READ_SNAPSHOT
+
+    def __init__(
+        self, region: RegionId, prefix: RegisterKey, floor: Any = None
+    ) -> None:
+        self.region = region
+        self.prefix = tuple(prefix)
+        self.floor = floor
+
+
+MemoryOp = ReadOp | WriteOp | SnapshotOp | ChangePermissionOp | ProbeOp | ReadSnapshotOp

@@ -1,7 +1,7 @@
 """Measurement: decision delays, signature counts, safety-violation capture,
 and per-shard workload aggregation for the sharded service layer."""
 
-from repro.metrics.ledger import DecisionRecord, MetricsLedger
+from repro.metrics.ledger import DecisionRecord, LatencyWindow, MetricsLedger
 from repro.metrics.reporting import format_table
 from repro.metrics.workload import (
     LatencySummary,
@@ -13,6 +13,7 @@ from repro.metrics.workload import (
 __all__ = [
     "DecisionRecord",
     "LatencySummary",
+    "LatencyWindow",
     "MetricsLedger",
     "ShardStats",
     "WorkloadReport",

@@ -16,12 +16,68 @@ off and read the violation log instead.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import AgreementViolation
+from repro.errors import AgreementViolation, StalenessViolation
 from repro.types import ProcessId
+
+#: default per-shard latency-window bound (samples retained per window)
+DEFAULT_LATENCY_WINDOW = 4096
+
+
+class LatencyWindow:
+    """A bounded ring of ``(completed_at, latency)`` samples.
+
+    Long-running services complete millions of requests; an unbounded
+    sample list is a slow memory leak, so each window retains at most
+    ``bound`` samples while ``total`` keeps counting everything ever
+    appended.  Consumers that difference the stream across observation
+    ticks (the autoscaler's p99 window) address samples by their *global*
+    append index via :meth:`since` — indices that scrolled out of the ring
+    are simply gone, which is correct for a percentile-of-recent-traffic
+    reading.
+    """
+
+    __slots__ = ("_samples", "total", "bound")
+
+    def __init__(self, bound: int = DEFAULT_LATENCY_WINDOW) -> None:
+        if bound < 1:
+            raise ValueError("latency window bound must be >= 1")
+        self._samples: deque = deque(maxlen=bound)
+        self.total = 0
+        self.bound = bound
+
+    def append(self, completed_at: float, latency: float) -> None:
+        self._samples.append((completed_at, latency))
+        self.total += 1
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LatencyWindow {len(self)}/{self.bound} retained, {self.total} total>"
+
+    def latencies(self) -> List[float]:
+        """The retained latency values, oldest first."""
+        return [latency for _t, latency in self._samples]
+
+    def since(self, index: int) -> List[float]:
+        """Latencies of samples with global append index ``>= index``.
+
+        Samples that already scrolled out of the ring are not
+        resurrected: the result starts at the older of *index* and the
+        ring's retention horizon.
+        """
+        dropped = self.total - len(self._samples)
+        start = max(0, index - dropped)
+        if start <= 0:
+            return self.latencies()
+        return [latency for _t, latency in list(self._samples)[start:]]
 
 
 @dataclass
@@ -91,9 +147,23 @@ class MetricsLedger:
     #: shard -> committed commands, fed by the shard leader's apply path;
     #: the autoscaler differentiates this into per-shard commit rates
     shard_commits: Counter = field(default_factory=Counter)
-    #: shard -> [(completed_at, latency_in_delays)] per client request —
+    #: retention bound applied to every latency window below (ring size)
+    latency_window_bound: int = DEFAULT_LATENCY_WINDOW
+    #: shard -> bounded (completed_at, latency) ring over ALL completions —
     #: the autoscaler's p99 window and the benchmarks' before/after series
-    shard_latencies: Dict[int, List[tuple]] = field(default_factory=dict)
+    shard_latencies: Dict[int, LatencyWindow] = field(default_factory=dict)
+    #: shard -> bounded (completed_at, latency) ring over reads only —
+    #: the read-path benchmarks' p50/p99 source
+    shard_read_latencies: Dict[int, LatencyWindow] = field(default_factory=dict)
+    #: (shard, mode) -> reads served by that path (leader/quorum/local/consensus)
+    reads_served: Counter = field(default_factory=Counter)
+    #: (shard, mode) -> reads a path refused (fence lost, quorum unassembled,
+    #: region fenced away mid-reconfig) and handed to the consensus fallback
+    read_fallbacks: Counter = field(default_factory=Counter)
+    #: every detected stale read — the acceptance criterion is that this
+    #: stays EMPTY: a revocation storm or epoch cutover must force a
+    #: fallback, never a stale answer
+    stale_reads: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
@@ -170,9 +240,60 @@ class MetricsLedger:
         """Credit *commands* committed entries to *shard* (leader apply)."""
         self.shard_commits[shard] += commands
 
-    def record_shard_latency(self, shard: int, now: float, latency: float) -> None:
-        """Record one completed request's round-trip latency for *shard*."""
-        self.shard_latencies.setdefault(shard, []).append((now, latency))
+    def _window(self, book: Dict[int, LatencyWindow], shard: int) -> LatencyWindow:
+        window = book.get(shard)
+        if window is None:
+            window = book[shard] = LatencyWindow(self.latency_window_bound)
+        return window
+
+    def record_shard_latency(
+        self, shard: int, now: float, latency: float, kind: str = "write"
+    ) -> None:
+        """Record one completed request's round-trip latency for *shard*.
+
+        ``kind`` splits the read path from the command path: reads are
+        additionally recorded in ``shard_read_latencies`` so read p50/p99
+        can be reported without re-classifying the combined stream.
+        """
+        self._window(self.shard_latencies, shard).append(now, latency)
+        if kind == "read":
+            self._window(self.shard_read_latencies, shard).append(now, latency)
+
+    # ------------------------------------------------------------------
+    # read-path accounting
+    # ------------------------------------------------------------------
+    def count_read(self, shard: int, mode: str) -> None:
+        """Credit one read served to *shard* via *mode*."""
+        self.reads_served[shard, mode] += 1
+
+    def count_read_fallback(self, shard: int, mode: str) -> None:
+        """One read *mode* refused to answer and fell back to consensus."""
+        self.read_fallbacks[shard, mode] += 1
+
+    def record_stale_read(self, description: str) -> None:
+        """A read returned state older than its session floor — a bug.
+
+        Like agreement violations: recorded always, raised under
+        ``strict_safety`` so the offending run fails loudly.
+        """
+        self.stale_reads.append(description)
+        if self.strict_safety:
+            raise StalenessViolation(description)
+
+    @property
+    def staleness_violations(self) -> int:
+        """The must-stay-zero counter the read-path acceptance gates on."""
+        return len(self.stale_reads)
+
+    def total_reads_served(self, mode: Optional[str] = None) -> int:
+        return sum(
+            count
+            for (_shard, m), count in self.reads_served.items()
+            if mode is None or m == mode
+        )
+
+    def total_read_fallbacks(self) -> int:
+        return sum(self.read_fallbacks.values())
 
     def faults_of(self, kind: str) -> List[FaultRecord]:
         """All timeline entries of one fault *kind*, in execution order."""

@@ -62,6 +62,12 @@ class ShardStats:
     committed_batches: int = 0
     duplicates: int = 0
     latencies: List[float] = field(default_factory=list)
+    #: ACHIEVED operation mix — counted per completion, not per request
+    #: issued, so a benchmark whose reads stall (and silently retry into a
+    #: different mix than requested) cannot misreport itself
+    reads: int = 0
+    writes: int = 0
+    read_latencies: List[float] = field(default_factory=list)
 
     @property
     def mean_batch_fill(self) -> float:
@@ -69,8 +75,17 @@ class ShardStats:
             return 0.0
         return self.committed_commands / self.committed_batches
 
+    @property
+    def achieved_read_fraction(self) -> float:
+        """Reads / completions actually served by this shard."""
+        completed = self.reads + self.writes
+        return self.reads / completed if completed else 0.0
+
     def latency_summary(self) -> LatencySummary:
         return LatencySummary.of(self.latencies)
+
+    def read_latency_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.read_latencies)
 
 
 @dataclass
@@ -112,10 +127,37 @@ class WorkloadReport:
             return 0.0
         return self.committed_commands / self.committed_batches
 
+    @property
+    def completed_reads(self) -> int:
+        return sum(s.reads for s in self.shards.values())
+
+    @property
+    def completed_writes(self) -> int:
+        return sum(s.writes for s in self.shards.values())
+
+    @property
+    def achieved_read_fraction(self) -> float:
+        """Reads / completions the service actually served (whole run)."""
+        completed = self.completed_reads + self.completed_writes
+        return self.completed_reads / completed if completed else 0.0
+
+    @property
+    def reads_per_delay(self) -> float:
+        """Read throughput in completed gets per unit of simulated time."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed_reads / self.elapsed
+
     def latency_summary(self) -> LatencySummary:
         merged: List[float] = []
         for stats in self.shards.values():
             merged.extend(stats.latencies)
+        return LatencySummary.of(merged)
+
+    def read_latency_summary(self) -> LatencySummary:
+        merged: List[float] = []
+        for stats in self.shards.values():
+            merged.extend(stats.read_latencies)
         return LatencySummary.of(merged)
 
     def per_shard_table(self) -> str:
@@ -130,12 +172,15 @@ class WorkloadReport:
                     stats.committed_commands,
                     stats.committed_batches,
                     f"{stats.mean_batch_fill:.1f}",
+                    stats.reads,
+                    f"{stats.achieved_read_fraction:.2f}",
                     f"{latency.mean:.1f}",
                     f"{latency.p99:.1f}",
                 ]
             )
         return format_table(
-            ["shard", "commands", "batches", "fill", "mean lat", "p99 lat"],
+            ["shard", "commands", "batches", "fill", "reads", "rmix",
+             "mean lat", "p99 lat"],
             rows,
         )
 

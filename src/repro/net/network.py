@@ -145,9 +145,21 @@ class Network:
         """Park a receiver until :meth:`deliver` finds it a match."""
         self.waiters[waiter.pid].append(waiter)
 
-    def unpark(self, pid: ProcessId, token: int) -> None:
-        """Remove a parked receiver (timeout fired or task died)."""
-        self.waiters[pid] = [w for w in self.waiters[pid] if w.token != token]
+    def unpark(self, pid: ProcessId, token: int, task: Any = None) -> None:
+        """Remove a parked receiver (timeout fired or task died).
+
+        *task* scopes the removal: suspension tokens are per-task counters
+        (every task counts from 1), so removing by token alone would also
+        evict an unrelated task's waiter that happens to share the number —
+        its messages would then bypass the wake path and rot in the inbox.
+        ``None`` keeps the legacy remove-by-token-only behaviour for
+        externally built waiters that carry no task reference.
+        """
+        self.waiters[pid] = [
+            w
+            for w in self.waiters[pid]
+            if w.token != token or (task is not None and w.task is not task)
+        ]
 
     # ------------------------------------------------------------------
     # failure handling

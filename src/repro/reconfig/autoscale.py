@@ -67,10 +67,15 @@ class Autoscaler:
             rate = 0.0
             if elapsed and elapsed > 0:
                 rate = 1000.0 * delta / elapsed
-            samples = ledger.shard_latencies.get(shard, ())
-            start = self._last_latency_index.get(shard, 0)
-            fresh = [latency for _t, latency in samples[start:]]
-            self._last_latency_index[shard] = len(samples)
+            window = ledger.shard_latencies.get(shard)
+            if window is None:
+                fresh = []
+            else:
+                # windows are bounded rings: address fresh samples by their
+                # global append index; anything that scrolled out since the
+                # last tick is gone, which is fine for a recent-p99 reading
+                fresh = window.since(self._last_latency_index.get(shard, 0))
+                self._last_latency_index[shard] = window.total
             p99 = percentile(fresh, 0.99) if fresh else 0.0
             out[shard] = (rate, p99)
         self._last_time = now

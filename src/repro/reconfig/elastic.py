@@ -68,6 +68,7 @@ from repro.reconfig.epochs import (
 from repro.reconfig.migrate import Migrator
 from repro.shard.service import ShardConfig, ShardedKV, shard_region
 from repro.sim.futures import count_acked
+from repro.smr.log import smr_rx_regions
 from repro.types import process_name
 
 
@@ -173,6 +174,11 @@ class ElasticKV(ShardedKV):
 
     def _boot_regions(self) -> List[RegionSpec]:
         regions = [self._shard_region_spec(g, self.leader_of(g)) for g in self.shards]
+        if self.config.read_paths_enabled:
+            for g in self.shards:
+                regions.extend(
+                    smr_rx_regions(self.config.n_processes, region=shard_region(g))
+                )
         regions.extend(config_regions(self.config.n_processes, self._config_leader()))
         return regions
 
@@ -469,11 +475,16 @@ class ElasticKV(ShardedKV):
     # ------------------------------------------------------------------
     def _add_shard_group(self, shard: int, leader: int) -> None:
         """Stand up one new consensus group for *shard* led by *leader*."""
-        self.cluster.add_regions([self._shard_region_spec(shard)])
+        new_regions = [self._shard_region_spec(shard)]
+        if self.config.read_paths_enabled:
+            new_regions.extend(
+                smr_rx_regions(self.config.n_processes, region=shard_region(shard))
+            )
+        self.cluster.add_regions(new_regions)
         self.queues[shard] = deque()
         env = self.cluster.env_for(leader)
         self._leader_envs[shard] = env
-        self._gates[shard] = env.new_gate(f"g{shard}-pending")
+        self._install_shard_control(shard, env)
         self._leader_map[shard] = leader  # additive; routing flips at cutover
         for pid in self.active_replicas:
             self._spawn_pmp_replica(pid, shard, recovered=True)
@@ -500,9 +511,12 @@ class ElasticKV(ShardedKV):
         for task in self._lead_tasks.pop((old, shard), ()):
             task.done = True
         self.queues[shard].clear()
+        read_queue = self._read_queues.get(shard)
+        if read_queue is not None:
+            read_queue.clear()  # the old leader's parked reads die with it
         env = self.cluster.env_for(new)
         self._leader_envs[shard] = env
-        self._gates[shard] = env.new_gate(f"g{shard}-pending")
+        self._install_shard_control(shard, env)
         self._leader_map[shard] = new
         log = self.logs[(new, shard)]
         self._spawn_leader_role(new, shard, env, log)
@@ -550,6 +564,8 @@ class ElasticKV(ShardedKV):
                 task.done = True
         self.queues.pop(shard, None)
         self._gates.pop(shard, None)
+        self._read_queues.pop(shard, None)
+        self._read_gates.pop(shard, None)
         self._leader_envs.pop(shard, None)
         self._leader_map.pop(shard, None)
         self.kernel.metrics.record_reconfig(
@@ -607,6 +623,8 @@ class ElasticKV(ShardedKV):
         """
         pid = int(pid)
         self.frontends[pid] = self._make_frontend(pid)
+        if self.config.read_paths_enabled:
+            self._spawn_read_reply_pump(pid)
         hosts = set(self._state.active_epoch.replicas) | set(
             self._state.latest.replicas
         )

@@ -14,7 +14,18 @@ from repro.shard.partitioner import (
     RingDiff,
     ring_diff,
 )
-from repro.shard.router import ShardFrontend, request_topic
+from repro.shard.router import (
+    READ_CONSENSUS,
+    READ_LEADER,
+    READ_LOCAL,
+    READ_MODES,
+    READ_QUORUM,
+    ReadSession,
+    ShardFrontend,
+    read_reply_topic,
+    read_topic,
+    request_topic,
+)
 from repro.shard.service import ShardConfig, ShardedKV, shard_region
 from repro.shard.workload import (
     ClosedLoopClient,
@@ -36,6 +47,12 @@ __all__ = [
     "KeyDistribution",
     "OpenLoopClient",
     "OperationMix",
+    "READ_CONSENSUS",
+    "READ_LEADER",
+    "READ_LOCAL",
+    "READ_MODES",
+    "READ_QUORUM",
+    "ReadSession",
     "RingDiff",
     "ScriptedClient",
     "ShardConfig",
@@ -46,6 +63,8 @@ __all__ = [
     "YCSB_B",
     "YCSB_C",
     "ZipfianKeys",
+    "read_reply_topic",
+    "read_topic",
     "request_topic",
     "ring_diff",
     "shard_region",

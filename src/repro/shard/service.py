@@ -36,10 +36,18 @@ from repro.errors import ConfigurationError
 from repro.mem.regions import RegionSpec
 from repro.metrics.workload import ShardStats, WorkloadReport
 from repro.shard.partitioner import ConsistentHashPartitioner
-from repro.shard.router import ShardFrontend, request_topic
+from repro.shard.router import (
+    READ_CONSENSUS,
+    READ_MODES,
+    ReadPaths,
+    ShardFrontend,
+    read_reply_topic,
+    read_topic,
+    request_topic,
+)
 from repro.sim.latency import LatencyModel, NominalLatency
 from repro.smr.kv import KVCommand, KVStateMachine
-from repro.smr.log import Batch, ReplicatedLog, SmrConfig, smr_regions
+from repro.smr.log import Batch, ReplicatedLog, SmrConfig, smr_regions, smr_rx_regions
 
 
 def shard_region(shard: int) -> str:
@@ -75,6 +83,17 @@ class ShardConfig:
     #: process crash/recover events target shards through their leader —
     #: one shard can churn while the untouched shards keep serving
     faults: Optional[object] = None
+    #: default routing of client ``get``s: ``consensus`` (reads are
+    #: commands — seed behaviour), ``leader`` (permission-fenced reads
+    #: from the leader's applied state), ``quorum`` (one-sided majority
+    #: reads, no leader involvement) or ``local`` (session-consistent
+    #: reads from the submitting process's own replica).  Anything but
+    #: ``consensus`` stands up the read plane — read-index regions,
+    #: watermark publication, per-shard read servers and reply pumps —
+    #: and lets clients override the mode per request.
+    read_mode: str = READ_CONSENSUS
+    #: one-sided quorum read attempts before falling back to consensus
+    read_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -84,6 +103,23 @@ class ShardConfig:
         bad = [g for g in self.bft_shards if not 0 <= g < self.n_shards]
         if bad:
             raise ConfigurationError(f"bft_shards out of range: {bad}")
+        if self.read_mode not in READ_MODES:
+            raise ConfigurationError(
+                f"unknown read_mode {self.read_mode!r}; pick one of {READ_MODES}"
+            )
+        if self.read_mode != READ_CONSENSUS and self.bft_shards:
+            raise ConfigurationError(
+                "non-consensus read paths are crash-tolerant only: a "
+                "Byzantine shard's fence/watermark registers could be lied "
+                "about by its leader — route BFT reads through consensus"
+            )
+        if self.read_attempts < 1:
+            raise ConfigurationError("read_attempts must be >= 1")
+
+    @property
+    def read_paths_enabled(self) -> bool:
+        """True when the non-consensus read plane is stood up."""
+        return self.read_mode != READ_CONSENSUS
 
 
 def _is_migration_client(client: Any) -> bool:
@@ -125,8 +161,17 @@ class _Recorder:
         if stats is None:
             stats = self.stats[shard] = ShardStats(shard=shard)
         stats.latencies.append(latency)
+        # achieved read/write mix, counted per COMPLETION: what the shard
+        # actually served, not what the workload intended to send
+        if command.op == "get":
+            kind = "read"
+            stats.reads += 1
+            stats.read_latencies.append(latency)
+        else:
+            kind = "write"
+            stats.writes += 1
         now = self._service.kernel.now
-        self._service.kernel.metrics.record_shard_latency(shard, now, latency)
+        self._service.kernel.metrics.record_shard_latency(shard, now, latency, kind)
         self.completed += 1
 
 
@@ -160,6 +205,10 @@ class ShardedKV:
         self.logs: Dict[Tuple[int, int], ReplicatedLog] = {}
         self.frontends: Dict[int, ShardFrontend] = {}
         self._gates: Dict[int, Any] = {}
+        #: leader-side pending fenced reads (and their wake gates), one
+        #: queue per shard — populated only when the read plane is up
+        self._read_queues: Dict[int, Deque[Tuple[KVCommand, int]]] = {}
+        self._read_gates: Dict[int, Any] = {}
         self._used_client_ids: set = set()
         #: task handles per (pid, shard) replica / per (pid, shard) leader
         #: role, so reconfiguration can retire a group or depose a leader
@@ -168,13 +217,15 @@ class ShardedKV:
 
         for pid in range(cfg.n_processes):
             self.frontends[pid] = self._make_frontend(pid)
+            if cfg.read_paths_enabled:
+                self._spawn_read_reply_pump(pid)
         #: per-shard (leader env, pending gate), resolved once per epoch —
         #: the submit path runs per client request and skips env_for lookups
         self._leader_envs: Dict[int, Any] = {}
         for g in self.shards:
             leader_env = self.cluster.env_for(self.leader_of(g))
             self._leader_envs[g] = leader_env
-            self._gates[g] = leader_env.new_gate(f"g{g}-pending")
+            self._install_shard_control(g, leader_env)
         self._spawn_replicas()
 
     # ------------------------------------------------------------------
@@ -202,6 +253,10 @@ class ShardedKV:
                 regions.extend(
                     smr_regions(cfg.n_processes, leader, region=shard_region(g))
                 )
+                if cfg.read_paths_enabled:
+                    regions.extend(
+                        smr_rx_regions(cfg.n_processes, region=shard_region(g))
+                    )
         return regions
 
     #: cluster runner class; the elastic service swaps in ElasticCluster
@@ -209,13 +264,36 @@ class ShardedKV:
 
     def _make_frontend(self, pid: int) -> ShardFrontend:
         """One process's request router (boot and crash-recovery rebuilds)."""
+        cfg = self.config
+        read_paths = None
+        if cfg.read_paths_enabled:
+            read_paths = ReadPaths(
+                default_mode=cfg.read_mode,
+                leader_read_submit=self._submit_leader_read,
+                quorum_read=self._quorum_read,
+                local_read=self._local_read,
+                readable=self._shard_readable,
+                ledger=self.kernel.metrics,
+                attempts=cfg.read_attempts,
+            )
         return ShardFrontend(
             self.cluster.env_for(pid),
             shard_for=self.partitioner.shard_for,
             leader_of=self.leader_of,
             local_submit=self._local_submit,
-            retry_timeout=self.config.retry_timeout,
+            retry_timeout=cfg.retry_timeout,
+            read_paths=read_paths,
         )
+
+    def _install_shard_control(self, shard: int, leader_env) -> None:
+        """(Re)create one shard's leader-side wake gates on *leader_env* —
+        the write-pending gate always, plus the read queue/gate pair when
+        the read plane is up.  Called at boot and by every leadership
+        move or group addition (the elastic service included)."""
+        self._gates[shard] = leader_env.new_gate(f"g{shard}-pending")
+        if self.config.read_paths_enabled:
+            self._read_queues[shard] = deque()
+            self._read_gates[shard] = leader_env.new_gate(f"g{shard}-reads")
 
     def _make_cluster(self, regions: Sequence[RegionSpec]) -> MultiGroupCluster:
         cfg = self.config
@@ -300,6 +378,7 @@ class ShardedKV:
                 initial_leader=leader,
                 region=shard_region(shard),
                 topic=shard_region(shard),
+                publish_watermark=self.config.read_paths_enabled,
             ),
             leader_fn=lambda g=shard: self.leader_of(g),
             recovered=recovered,
@@ -330,6 +409,17 @@ class ShardedKV:
         lead_tasks.append(
             self.cluster.spawn(pid, f"g{shard}-accept", self._acceptor(shard, env))
         )
+        if self.config.read_paths_enabled:
+            lead_tasks.append(
+                self.cluster.spawn(
+                    pid, f"g{shard}-rd-accept", self._read_acceptor(shard, env)
+                )
+            )
+            lead_tasks.append(
+                self.cluster.spawn(
+                    pid, f"g{shard}-rd-serve", self._read_server(shard, env, log)
+                )
+            )
 
     def _make_apply(self, pid: int, shard: int, machine: KVStateMachine):
         """Apply committed entries and answer this process's waiting clients.
@@ -346,9 +436,9 @@ class ShardedKV:
             frontend = self.frontends[pid]
             if isinstance(value, Batch):
                 for command, result in zip(value.commands, results):
-                    frontend.complete(command, result)
+                    frontend.complete(command, result, watermark=slot, shard=shard)
             else:
-                frontend.complete(value, results)
+                frontend.complete(value, results, watermark=slot, shard=shard)
 
         return apply_fn
 
@@ -472,7 +562,172 @@ class ShardedKV:
                 if decided.commands and int(env.pid) == leader:
                     self.kernel.metrics.count_shard_commit(shard, len(decided.commands))
                 for command, result in zip(decided.commands, results):
-                    frontend.complete(command, result)
+                    frontend.complete(command, result, watermark=slot, shard=shard)
+
+    # ------------------------------------------------------------------
+    # the read plane (non-consensus read serving)
+    # ------------------------------------------------------------------
+    def _shard_readable(self, shard: int) -> bool:
+        """May the read plane serve *shard*?  Live crash-tolerant groups
+        only — Byzantine groups and retired/unknown ids ride consensus."""
+        return shard in self.queues and shard not in self.config.bft_shards
+
+    def _submit_leader_read(self, shard: int, command: KVCommand, src: int) -> None:
+        """Enqueue one fenced read at *shard*'s leader (local or accepted).
+
+        A shard this process no longer leads (deposed, retired) simply
+        drops the request — the client's resend re-resolves the leader.
+        """
+        queue = self._read_queues.get(shard)
+        if queue is None:
+            return
+        queue.append((command, src))
+        if len(queue) == 1:
+            gate = self._read_gates[shard]
+            self._leader_envs[shard].signal(gate)
+            gate.clear()
+
+    def _read_acceptor(self, shard: int, env) -> Generator:
+        """Leader-side intake of fenced reads from remote frontends."""
+        recv_read = env.recv_effect(topic=read_topic(shard))
+        while True:
+            envelope = yield recv_read
+            if envelope is None:
+                continue
+            self._submit_leader_read(shard, envelope.payload, int(envelope.src))
+
+    def _reply_read(
+        self, env, src: int, command: KVCommand, value: Any,
+        watermark: Optional[int], ok: bool, shard: int,
+    ) -> Generator:
+        """Answer one fenced read: a direct completion when the requester
+        is this process, a reply message to its pump otherwise."""
+        if src == int(env.pid):
+            self.frontends[src].complete_read(
+                command.identity, value, watermark, ok, shard
+            )
+        else:
+            yield env.send(
+                src,
+                (command.identity, value, watermark, ok, shard),
+                topic=read_reply_topic(src),
+            )
+
+    def _read_server(self, shard: int, env, log: ReplicatedLog) -> Generator:
+        """Leader loop of the fenced read path: drain, snapshot, probe, reply.
+
+        Every read pending at drain time is answered under ONE fence
+        probe — the values are taken from local applied state first, then
+        a single one-sided permission probe validates that the exclusive
+        write grant was still live at a majority afterwards, which makes
+        each answer linearizable at the probe instant.  A failed probe
+        (revocation storm, takeover, epoch fence) NAKs the whole batch:
+        clients fall back to the command plane — degraded, never stale.
+        """
+        cfg = self.config
+        queue = self._read_queues[shard]
+        gate = self._read_gates[shard]
+        pid = int(env.pid)
+        while True:
+            if not queue:
+                yield env.gate_wait(gate, timeout=cfg.idle_poll)
+                continue
+            if not log.serves_local_reads and log.permissions_held:
+                # transiently behind its own progress — a commit whose
+                # watermark publish is still in flight, or takeover
+                # re-commits draining the adopt cache.  The gap closes
+                # through this leader's own applies (each signals the
+                # commit gate), so hold the reads instead of NAKing a
+                # whole batch into the consensus fallback.
+                yield env.gate_wait(log.commit_gate, timeout=cfg.idle_poll)
+                continue
+            batch = tuple(queue)
+            queue.clear()
+            served = None
+            if log.serves_local_reads:
+                watermark = log.applied_watermark
+                machine = self.machines[(pid, shard)]
+                served = [
+                    (command, src, machine.get(command.key))
+                    for command, src in batch
+                ]
+                held = yield from log.fence_probe(timeout=cfg.retry_timeout)
+            else:
+                # the grant is known lost (revocation observed, or a
+                # recovered leader pre-prepare): refuse without probing
+                held = False
+            if held:
+                for command, src, value in served:
+                    yield from self._reply_read(
+                        env, src, command, value, watermark, True, shard
+                    )
+            else:
+                for command, src in batch:
+                    yield from self._reply_read(
+                        env, src, command, None, None, False, shard
+                    )
+
+    def _spawn_read_reply_pump(self, pid: int) -> None:
+        """(Re)start one process's read-reply pump (boot and recovery)."""
+        self.cluster.spawn(pid, f"rd-pump-p{pid+1}", self._read_reply_pump(pid))
+
+    def _read_reply_pump(self, pid: int) -> Generator:
+        """Deliver remote read replies to this process's live frontend.
+
+        The frontend is looked up per reply, not captured: after a crash
+        the rebuilt frontend must be the one answered.
+        """
+        env = self.cluster.env_for(pid)
+        recv_reply = env.recv_effect(topic=read_reply_topic(pid))
+        while True:
+            envelope = yield recv_reply
+            if envelope is None:
+                continue
+            token, value, watermark, ok, shard = envelope.payload
+            self.frontends[pid].complete_read(token, value, watermark, ok, shard)
+
+    def _quorum_read(self, pid: int, shard: int, command: KVCommand) -> Generator:
+        """One-sided quorum read of *command*'s key against *shard*.
+
+        Runs entirely on the reading process: the local replica's log
+        assembles the committed watermark and any missing entries from a
+        majority of memories (ingesting them locally as a side effect)
+        and the value is served from the caught-up local state machine.
+        Returns ``(value, watermark)``, or ``None`` when the read cannot
+        be served one-sided and must fall back.
+        """
+        log = self.logs.get((pid, shard))
+        if log is None:
+            return None
+        watermark = yield from log.quorum_read(timeout=self.config.retry_timeout)
+        if watermark is None:
+            return None
+        machine = self.machines.get((pid, shard))
+        if machine is None:
+            return None
+        return machine.get(command.key), watermark
+
+    def _local_read(
+        self, pid: int, shard: int, command: KVCommand, floor: int
+    ) -> Generator:
+        """Session-consistent read from this process's own replica.
+
+        Parks on the replica's commit gate until the applied watermark
+        reaches the session *floor* (read-your-writes: the client's own
+        completed writes are below it by construction), then serves local
+        state.  The log is re-looked-up per wait so a crash-recovery
+        rebuild is picked up; returns ``None`` when this process hosts no
+        replica of the shard at all.
+        """
+        env = self.cluster.env_for(pid)
+        while True:
+            log = self.logs.get((pid, shard))
+            if log is None:
+                return None
+            if log.applied_upto >= floor:
+                machine = self.machines[(pid, shard)]
+                return machine.get(command.key), log.applied_upto
+            yield env.gate_wait(log.commit_gate, timeout=self.config.retry_timeout)
 
     # ------------------------------------------------------------------
     # failure hooks (per-shard fault targeting)
@@ -488,6 +743,9 @@ class ShardedKV:
         self._ever_crashed.add(int(pid))
         for shard in self.shards_led_by(int(pid)):
             self.queues[shard].clear()
+            read_queue = self._read_queues.get(shard)
+            if read_queue is not None:
+                read_queue.clear()
 
     def _respawn_process(self, pid) -> None:
         """Rebuild one recovered process's replica state, shard by shard.
@@ -503,6 +761,8 @@ class ShardedKV:
         pid = int(pid)
         cfg = self.config
         self.frontends[pid] = self._make_frontend(pid)
+        if cfg.read_paths_enabled:
+            self._spawn_read_reply_pump(pid)
         for g in self.shards:
             if g not in cfg.bft_shards:
                 self._spawn_pmp_replica(pid, g, recovered=True)

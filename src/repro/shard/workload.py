@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional, Protocol, Sequence, Tuple
 
+from repro.shard.router import ReadSession
 from repro.smr.kv import KVCommand
 
 
@@ -116,7 +117,13 @@ def _command(client_id: int, request_id: int, op: str, key: str) -> KVCommand:
 
 @dataclass
 class ClosedLoopClient:
-    """One interactive client: submit, wait for the reply, repeat."""
+    """One interactive client: submit, wait for the reply, repeat.
+
+    Each client carries its own :class:`~repro.shard.router.ReadSession`
+    (per-shard consistency floors raised by every reply), and routes its
+    ``get``s through the frontend's read plane — by the service's default
+    read mode, or by this client's ``read_mode`` override.
+    """
 
     client_id: int
     n_ops: int
@@ -125,14 +132,22 @@ class ClosedLoopClient:
     think_time: float = 0.0
     #: process to run on; None lets the service spread clients round-robin
     pid: Optional[int] = None
+    #: per-client read routing override; None follows the service default
+    read_mode: Optional[str] = None
 
     def task(self, env, frontend, recorder) -> Generator:
+        session = ReadSession()
         for request_id in range(self.n_ops):
             op = self.mix.next_op(env.rng)
             key = self.keys.next_key(env.rng)
             command = _command(self.client_id, request_id, op, key)
             started = env.now
-            result = yield from frontend.submit(command)
+            if op == "get":
+                result = yield from frontend.get(
+                    command, mode=self.read_mode, session=session
+                )
+            else:
+                result = yield from frontend.submit(command, session=session)
             recorder.record(command, result, env.now - started)
             if self.think_time > 0.0:
                 yield env.sleep(self.think_time)
@@ -150,18 +165,26 @@ class ScriptedClient:
     client_id: int
     script: Sequence[Tuple[str, str, Any]]
     pid: Optional[int] = None
+    #: per-client read routing override; None follows the service default
+    read_mode: Optional[str] = None
 
     @property
     def n_ops(self) -> int:
         return len(self.script)
 
     def task(self, env, frontend, recorder) -> Generator:
+        session = ReadSession()
         for request_id, (op, key, value) in enumerate(self.script):
             command = KVCommand(
                 op, key, value=value, client=self.client_id, request_id=request_id
             )
             started = env.now
-            result = yield from frontend.submit(command)
+            if op == "get":
+                result = yield from frontend.get(
+                    command, mode=self.read_mode, session=session
+                )
+            else:
+                result = yield from frontend.submit(command, session=session)
             recorder.record(command, result, env.now - started)
 
 
@@ -178,20 +201,30 @@ class OpenLoopClient:
     #: draw exponential gaps (Poisson arrivals) instead of a fixed spacing
     poisson: bool = False
     pid: Optional[int] = None
+    #: per-client read routing override; None follows the service default
+    read_mode: Optional[str] = None
 
-    def _one(self, env, frontend, recorder, command) -> Generator:
+    def _one(self, env, frontend, recorder, command, session) -> Generator:
         started = env.now
-        result = yield from frontend.submit(command)
+        if command.op == "get":
+            result = yield from frontend.get(
+                command, mode=self.read_mode, session=session
+            )
+        else:
+            result = yield from frontend.submit(command, session=session)
         recorder.record(command, result, env.now - started)
 
     def task(self, env, frontend, recorder) -> Generator:
+        # one session for the whole open loop: floors are raised as the
+        # (possibly overlapping) requests complete
+        session = ReadSession()
         for request_id in range(self.n_ops):
             op = self.mix.next_op(env.rng)
             key = self.keys.next_key(env.rng)
             command = _command(self.client_id, request_id, op, key)
             yield env.spawn(
                 f"c{self.client_id}-r{request_id}",
-                self._one(env, frontend, recorder, command),
+                self._one(env, frontend, recorder, command, session),
             )
             gap = self.interarrival
             if self.poisson:

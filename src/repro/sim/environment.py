@@ -25,7 +25,9 @@ from repro.crypto.signatures import Signed, SigningKey
 from repro.mem.operations import (
     ChangePermissionOp,
     MemoryOp,
+    ProbeOp,
     ReadOp,
+    ReadSnapshotOp,
     SnapshotOp,
     WriteOp,
 )
@@ -218,6 +220,26 @@ class ProcessEnv:
     def snapshot(self, mid: MemoryId, region: RegionId, prefix: RegisterKey) -> Generator:
         """Snapshot-read a slot array on one memory; returns :class:`OpResult`."""
         result = yield OpEffect(MemoryId(mid), SnapshotOp(region, prefix))
+        return result
+
+    def probe(self, mid: MemoryId, region: RegionId, access: str = "write") -> Generator:
+        """Zero-length permission probe on one memory; returns :class:`OpResult`.
+
+        ACK iff this process currently holds *access* on *region* — the
+        one-sided fence check of the permission-fenced read path.
+        """
+        result = yield OpEffect(MemoryId(mid), ProbeOp(region, access))
+        return result
+
+    def read_snapshot(
+        self, mid: MemoryId, region: RegionId, prefix: RegisterKey, floor: Any = None
+    ) -> Generator:
+        """Floor-filtered snapshot of a slot array; returns :class:`OpResult`.
+
+        Integer-indexed registers below *floor* are filtered at the memory
+        (the quorum read path's bounded catch-up read).
+        """
+        result = yield OpEffect(MemoryId(mid), ReadSnapshotOp(region, prefix, floor))
         return result
 
     def change_permission(

@@ -495,7 +495,7 @@ class Kernel:
     def _ev_recv_timeout(self, task, token, _c) -> None:
         # Heap context (ready lane empty): unpark and resume directly.
         if task.pending_token == token:
-            self.network.unpark(task.pid, token)
+            self.network.unpark(task.pid, token, task)
             if not task.done and task.pid not in self.crashed_processes:
                 task.pending_token = None
                 self._resume(task, None)

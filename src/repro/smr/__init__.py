@@ -15,7 +15,14 @@ from repro.smr.byzantine_log import (
     NOOP,
 )
 from repro.smr.kv import KVCommand, KVStateMachine
-from repro.smr.log import Batch, ReplicatedLog, SmrConfig, smr_regions
+from repro.smr.log import (
+    Batch,
+    ReplicatedLog,
+    SmrConfig,
+    rx_region_of,
+    smr_regions,
+    smr_rx_regions,
+)
 
 __all__ = [
     "Batch",
@@ -26,5 +33,7 @@ __all__ = [
     "NOOP",
     "ReplicatedLog",
     "SmrConfig",
+    "rx_region_of",
     "smr_regions",
+    "smr_rx_regions",
 ]

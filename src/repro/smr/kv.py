@@ -122,6 +122,15 @@ class KVStateMachine:
         self.applied.append((slot, command, result))
         return result
 
+    def get(self, key: str) -> Any:
+        """Read one key from the applied state (no log traffic).
+
+        This is the serving half of the non-consensus read paths: the
+        *caller* is responsible for the freshness proof (a fence probe, a
+        quorum watermark, or a session floor) before trusting the value.
+        """
+        return self.data.get(key)
+
     def snapshot(self) -> Dict[str, Any]:
         """Copy of the current store contents."""
         return dict(self.data)

@@ -18,10 +18,20 @@ from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tup
 
 from repro.consensus.ballots import Ballot
 from repro.consensus.chains import ChainRunner
+from repro.errors import ConfigurationError
 from repro.consensus.messages import Decision
+from repro.consensus.probes import (
+    probe_write_grant,
+    publish_watermark,
+    read_quorum_watermarks,
+)
 from repro.consensus.protected_memory_paxos import PmpSlot
-from repro.mem.operations import WriteOp
-from repro.mem.permissions import Permission, exclusive_grab_policy
+from repro.mem.operations import ReadSnapshotOp, WriteOp
+from repro.mem.permissions import (
+    Permission,
+    exclusive_grab_policy,
+    static_permissions,
+)
 from repro.mem.regions import RegionSpec
 from repro.sim.environment import ProcessEnv
 from repro.types import BOTTOM, is_bottom
@@ -32,6 +42,38 @@ SMR_TOPIC = "smr"
 #: prepare-probe slot used by leader recovery: a slot index no data slot
 #: ever uses, so the probe write cannot clobber a forgotten commit
 _RECOVERY_PROBE_SLOT = -1
+
+
+def rx_region_of(region: str) -> str:
+    """The read-index sibling region of one log region.
+
+    Holds the per-writer commit-watermark registers the one-sided quorum
+    read path reads (and writes back).  It is a *separate* region because
+    its permission shape differs from the log's: the log region is
+    exclusive-writer (the PMP fence), while watermark write-backs must be
+    open to every process — a quorum reader is not the leader.
+    """
+    return region + "-rx"
+
+
+def smr_rx_regions(n_processes: int, region: str = SMR_REGION) -> List[RegionSpec]:
+    """The read-index region for one log: open access, static permissions.
+
+    Open writes are safe here: registers are per-writer (no cross-process
+    clobbering), values are monotone committed watermarks, and nothing in
+    the region ever decides consensus — it only *indexes* what the fenced
+    log region already committed.
+    """
+    rx = rx_region_of(region)
+    processes = range(n_processes)
+    return [
+        RegionSpec(
+            region_id=rx,
+            prefix=(rx,),
+            initial_permission=Permission.open(processes),
+            legal_change=static_permissions,
+        )
+    ]
 
 
 class Batch:
@@ -86,6 +128,12 @@ class SmrConfig:
     #: group its own namespace so groups sharing a kernel never interfere
     region: str = SMR_REGION
     topic: str = SMR_TOPIC
+    #: publish the commit watermark to the read-index region after every
+    #: committed slot, majority-acked BEFORE any client sees the commit.
+    #: Off by default: it adds one memory round per committed slot
+    #: (amortised across the batch), and only the one-sided quorum read
+    #: path needs it.  Requires ``smr_rx_regions`` to be registered.
+    publish_watermark: bool = False
 
 
 def smr_regions(
@@ -161,6 +209,12 @@ class ReplicatedLog:
         #: (otherwise a takeover could overwrite an earlier leader's commit)
         self.adopt_cache: Dict[int, Any] = {}
         self.commit_gate = env.new_gate(f"{self.region}-commit-p{int(env.pid)+1}")
+        #: read-index region for watermark registers (quorum read path)
+        self.rx_region = rx_region_of(self.region)
+        #: highest watermark this process ever published (or started to):
+        #: raised optimistically BEFORE the write leaves, so two reads
+        #: interleaving their write-backs can never regress the register
+        self._wm_publish_floor = -1
 
     # ------------------------------------------------------------------
     def _slot_key(self, slot: int, pid: int) -> tuple:
@@ -180,6 +234,144 @@ class ReplicatedLog:
             self.apply_fn(self.applied_upto, self.slots[self.applied_upto].value)
         self.env.signal(self.commit_gate)
         self.commit_gate.clear()
+
+    # ------------------------------------------------------------------
+    # read paths (non-consensus)
+    # ------------------------------------------------------------------
+    @property
+    def applied_watermark(self) -> int:
+        """Highest slot applied to the local state machine, in order."""
+        return self.applied_upto
+
+    @property
+    def serves_local_reads(self) -> bool:
+        """May this endpoint serve permission-fenced reads from local state?
+
+        Requires holding the grant AND having re-committed everything the
+        takeover prepare adopted: between a prepare and the re-commits the
+        local applied state lags values an earlier leader already
+        committed, so serving it — even fenced — could be stale.
+
+        It also requires the applied state to have caught up with this
+        process's own published watermark: during the publish round of a
+        commit (or a quorum read's write-back) the registers can already
+        advertise a slot the local apply has not executed — a quorum
+        reader may have served that slot, so answering from the lagging
+        local state here would be new-then-old.  The window closes within
+        the same commit step; refusing (the caller falls back) keeps the
+        fenced path never-stale.
+        """
+        if not self.permissions_held:
+            return False
+        if self.adopt_cache and max(self.adopt_cache) > self.applied_upto:
+            return False
+        if self._wm_publish_floor > self.applied_upto:
+            return False
+        return True
+
+    def fence_probe(self, timeout: Optional[float] = None) -> Generator:
+        """True iff this process's exclusive write grant on the log region
+        is live at a majority of memories (see ``PmpNode.grant_probe``)."""
+        held = yield from probe_write_grant(self.env, self.region, timeout=timeout)
+        return held
+
+    def _publish_watermark(self, slot: int) -> Generator:
+        """Majority-install ``commit watermark = slot`` in our register.
+
+        Called by the leader after slot *slot*'s phase-2 write ACKed at a
+        majority and BEFORE the commit is applied or broadcast: every
+        client-visible effect of the commit therefore happens after the
+        watermark is durable, which is what lets a quorum reader trust
+        ``max(watermarks over any majority)`` to cover every completed
+        write.  The register is kept monotone through the optimistic
+        floor (concurrent quorum-read write-backs share it).
+        """
+        target = max(int(slot), self._wm_publish_floor)
+        self._wm_publish_floor = target
+        ok = yield from publish_watermark(self.env, self.rx_region, target)
+        return ok
+
+    def quorum_read(self, timeout: Optional[float] = None) -> Generator:
+        """One-sided quorum read: no leader involvement, ABD-style.
+
+        Reads the commit watermark registers and any missing log entries
+        directly from a majority of memories, ingests the committed
+        prefix into this replica, and returns the watermark the local
+        state now provably covers — or ``None`` when the read cannot be
+        served one-sided (majority unreachable, region fenced away by a
+        reconfiguration, or a wiped memory left the prefix unassemblable)
+        and the caller must fall back to the consensus path.
+
+        Correctness:
+
+        * the watermark max over any majority covers every write whose
+          client saw a reply (leaders majority-publish before replying);
+        * every slot ``<= watermark`` was majority-written before the
+          watermark advanced, so this read's majority holds each one,
+          and the highest-ballot copy per slot is the committed value
+          (the standard Paxos invariant: later ballots re-propose it);
+        * before answering, the observed watermark is written back to a
+          majority (skipped when the quorum already confirms it), so two
+          sequential quorum reads can never see new-then-old.
+        """
+        env = self.env
+        majority = env.majority_of_memories()
+        # The watermark MUST be observed before the entries are fetched:
+        # slots <= watermark were majority-written before the watermark
+        # reached the memory that served it, so entry reads issued AFTER
+        # that observation are guaranteed to find each committed value in
+        # any majority.  Overlapping the two rounds would let an entry
+        # view predate a commit the (later-served) watermark view already
+        # covers — the view could then hold only a fenced-out old
+        # proposer's minority residue for that slot, which would pass the
+        # hole check and be served as if committed.  Sequencing also
+        # skips the entry fan-out entirely in the caught-up common case.
+        watermark, confirmed = yield from read_quorum_watermarks(
+            env, self.rx_region, timeout=timeout
+        )
+        if watermark is None:
+            return None
+        if watermark <= self.applied_upto:
+            # local state is already at least as fresh as the quorum —
+            # nothing to ingest, nothing to write back
+            return self.applied_upto
+        floor = self.applied_upto + 1
+        read_op = ReadSnapshotOp(self.region, (self.region,), floor)
+        entry_futures = yield from env.invoke_on_all(lambda mid: read_op)
+        yield env.wait(entry_futures, count=majority, timeout=timeout)
+        views = [f.value for f in entry_futures if f.done and f.ok]
+        if len(views) < majority:
+            return None
+        best: Dict[int, tuple] = {}
+        for view in views:
+            for key, entry in view.items():
+                if not isinstance(entry, PmpSlot) or entry.acc_prop is None:
+                    continue  # ballot-publishing probes carry no value
+                if is_bottom(entry.value):
+                    continue
+                slot = key[1]
+                if not isinstance(slot, int) or not floor <= slot <= watermark:
+                    continue
+                current = best.get(slot)
+                if current is None or entry.acc_prop > current[0]:
+                    best[slot] = (entry.acc_prop, entry.value)
+        for slot in range(floor, watermark + 1):
+            if slot not in best and slot > self.applied_upto:
+                # a hole in the committed prefix (wiped memory mid-run):
+                # not one-sided-servable; the consensus path still is
+                return None
+        if not confirmed:
+            target = max(watermark, self._wm_publish_floor)
+            self._wm_publish_floor = target
+            ok = yield from publish_watermark(
+                env, self.rx_region, target, timeout=timeout
+            )
+            if not ok:
+                return None
+        for slot in range(floor, watermark + 1):
+            if slot > self.applied_upto:  # the listener may have raced ahead
+                self._commit(slot, best[slot][1])
+        return self.applied_upto
 
     # ------------------------------------------------------------------
     def listener(self) -> Generator:
@@ -371,6 +563,21 @@ class ReplicatedLog:
         if failed:
             self.permissions_held = False  # somebody grabbed the region
             return
+        if self.config.publish_watermark:
+            # The slot is committed (majority-acked under the fence) but
+            # not yet client-visible; make the watermark durable FIRST so
+            # no client can see a reply a quorum reader could miss.  The
+            # open rx region can only NAK a majority when it was never
+            # registered — proceeding would silently re-open the staleness
+            # hole the watermark closes, so a failed publish is a loud
+            # assembly error, not a degradation.
+            published = yield from self._publish_watermark(slot)
+            if not published:
+                raise ConfigurationError(
+                    f"watermark publish to {self.rx_region!r} refused at a "
+                    "majority of memories: publish_watermark=True requires "
+                    "the smr_rx_regions read-index region to be registered"
+                )
         self._commit(slot, my_value)
         yield from env.broadcast(
             (slot, Decision(value=my_value)), topic=self.topic, include_self=False

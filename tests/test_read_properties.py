@@ -1,0 +1,163 @@
+"""Property test: quorum reads are never older than a completed write.
+
+The linearizability half of the one-sided read path, checked against the
+state machine's commit order under adversarial link chaos:
+
+* writers stream puts with globally unique values;
+* readers issue ``quorum``-mode gets, recording each read's *start*
+  instant and returned value;
+* link filters inflate, duplicate and drop messages — the decision
+  broadcasts and client replies lag arbitrarily while one-sided memory
+  reads race ahead, which is exactly the new/old-inversion hazard the
+  watermark write-back exists to close.
+
+After the run, every read is checked against the committed per-key value
+order (taken from the leader state machine's applied log): the returned
+value must sit at or after the latest write whose client saw a reply
+before the read began.  The in-run session tripwire
+(``ledger.stale_reads``) must stay empty too.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import FaultScript
+from repro.shard import READ_QUORUM, ShardConfig, ShardedKV
+from repro.smr.kv import KVCommand
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_KEYS = [f"qk{i}" for i in range(4)]
+
+
+class _Writer:
+    """Streams puts round-robin over the key set; records completions."""
+
+    def __init__(self, client_id, n_ops, pid=None):
+        self.client_id = client_id
+        self.n_ops = n_ops
+        self.pid = pid
+        #: value -> completion instant (client-visible reply time)
+        self.completions = {}
+
+    def task(self, env, frontend, recorder):
+        for request_id in range(self.n_ops):
+            key = _KEYS[request_id % len(_KEYS)]
+            value = f"w{self.client_id}-{request_id}"
+            command = KVCommand(
+                "put", key, value=value,
+                client=self.client_id, request_id=request_id,
+            )
+            started = env.now
+            result = yield from frontend.submit(command)
+            self.completions[value] = env.now
+            recorder.record(command, result, env.now - started)
+
+
+class _Reader:
+    """Issues quorum gets; records (key, start instant, returned value)."""
+
+    def __init__(self, client_id, n_ops, pid=None):
+        self.client_id = client_id
+        self.n_ops = n_ops
+        self.pid = pid
+        self.reads = []
+
+    def task(self, env, frontend, recorder):
+        for request_id in range(self.n_ops):
+            key = _KEYS[request_id % len(_KEYS)]
+            command = KVCommand(
+                "get", key,
+                client=self.client_id, request_id=request_id,
+            )
+            started = env.now
+            result = yield from frontend.get(command, mode=READ_QUORUM)
+            self.reads.append((key, started, result))
+            recorder.record(command, result, env.now - started)
+            yield env.sleep(1.0)
+
+
+def _commit_order(service, key):
+    """Values committed to *key*, in slot order (first application only —
+    dedup'd replays re-append to the applied log but decide nothing)."""
+    shard = service.partitioner.shard_for(key)
+    machine = service.machines[(service.leader_of(shard), shard)]
+    order, seen = [], set()
+    for _slot, command, _result in machine.applied:
+        if (
+            isinstance(command, KVCommand)
+            and command.op == "put"
+            and command.key == key
+            and command.value not in seen
+        ):
+            seen.add(command.value)
+            order.append(command.value)
+    return order
+
+
+def _check_reads_not_stale(service, writers, readers):
+    completions = {}
+    for writer in writers:
+        completions.update(writer.completions)
+    for key in _KEYS:
+        order = _commit_order(service, key)
+        position = {value: index for index, value in enumerate(order)}
+        for reader in readers:
+            for read_key, started, value in reader.reads:
+                if read_key != key:
+                    continue
+                # the newest write completed before this read began
+                floor = -1
+                for committed_value, index in position.items():
+                    completed = completions.get(committed_value)
+                    if completed is not None and completed <= started and index > floor:
+                        floor = index
+                if floor >= 0:
+                    assert value in position, (
+                        f"read of {key} returned {value!r}, never committed"
+                    )
+                    assert position[value] >= floor, (
+                        f"STALE: read of {key} started at {started} returned "
+                        f"{value!r} (commit #{position[value]}) but "
+                        f"{order[floor]!r} (commit #{floor}) completed earlier"
+                    )
+
+
+@_PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    delay_factor=st.floats(min_value=1.0, max_value=6.0),
+    duplicate=st.floats(min_value=0.0, max_value=0.4),
+    drop=st.floats(min_value=0.0, max_value=0.2),
+    chaos_until=st.floats(min_value=100.0, max_value=600.0),
+)
+def test_quorum_reads_never_return_older_than_a_completed_write(
+    seed, delay_factor, duplicate, drop, chaos_until
+):
+    script = FaultScript()
+    # chaos on the broadcast/reply paths out of the (single) leader p1 and
+    # between the reader processes — the one-sided reads bypass all of it
+    for src, dst in ((0, 1), (0, 2), (1, 2)):
+        script.at(5.0).delay_link(
+            src, dst, factor=delay_factor, until=chaos_until
+        )
+        script.at(6.0).duplicate_link(
+            src, dst, prob=duplicate, until=chaos_until
+        )
+    script.at(7.0).drop_link(1, 0, prob=drop, until=chaos_until)
+    service = ShardedKV(
+        ShardConfig(
+            n_shards=2, n_processes=3, batch_max=4, seed=seed,
+            read_mode=READ_QUORUM, retry_timeout=25.0,
+            deadline=200_000.0, faults=script,
+        )
+    )
+    writers = [_Writer(1, 16, pid=0), _Writer(2, 16, pid=1)]
+    readers = [_Reader(11, 16, pid=1), _Reader(12, 16, pid=2)]
+    report = service.run_workload(writers + readers)
+    assert report.ok, report.summary()
+    assert service.kernel.metrics.stale_reads == []
+    _check_reads_not_stale(service, writers, readers)
