@@ -31,6 +31,8 @@ Usage::
     python benchmarks/perf.py --check              # measure, compare vs committed
                                                    # baseline, exit 1 on >25% regression
     python benchmarks/perf.py --check --tolerance 0.4
+    python benchmarks/perf.py --obs-overhead            # zero-cost-observability
+                                                        # gate: strict 2% tolerance
     python benchmarks/perf.py --out /tmp/now.json --baseline BENCH_kernel.json
 
 The committed baseline is machine-relative: refresh it (re-run without
@@ -266,11 +268,20 @@ def main(argv=None) -> int:
                         help="baseline JSON for --check (default: committed BENCH_kernel.json)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the baseline and exit 1 on regression")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional drop vs baseline (default 0.25)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="gate the zero-cost observability contract: the default "
+                             "measurement (kernel.obs detached) must sit within a "
+                             "strict 2%% of the baseline — implies --check")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional drop vs baseline "
+                             "(default 0.25; 0.02 under --obs-overhead)")
     parser.add_argument("--runs", type=int, default=5,
                         help="runs per workload; best-of is reported (default 5)")
     args = parser.parse_args(argv)
+    if args.obs_overhead:
+        args.check = True
+    if args.tolerance is None:
+        args.tolerance = 0.02 if args.obs_overhead else 0.25
     if args.out is None:
         args.out = (
             args.baseline.with_suffix(".current.json") if args.check else DEFAULT_BASELINE

@@ -188,27 +188,38 @@ class PaxosNode:
         env = self.env
         ballot = self.highest_seen.next_for(env.pid)
         self.highest_seen = ballot
-        yield from self.transport.broadcast(Prepare(ballot=ballot))
-        arrived = yield from wait_until(
-            env,
-            self.wake,
-            lambda: self._promise_count(ballot) >= self.quorum
-            or ballot in self.nacked
-            or self.decided,
-            timeout=self.config.round_timeout,
-        )
+        obs = env.obs
+        phase = obs and obs.phase("paxos.prepare", ballot=str(ballot))
+        try:
+            yield from self.transport.broadcast(Prepare(ballot=ballot))
+            arrived = yield from wait_until(
+                env,
+                self.wake,
+                lambda: self._promise_count(ballot) >= self.quorum
+                or ballot in self.nacked
+                or self.decided,
+                timeout=self.config.round_timeout,
+            )
+        finally:
+            if phase:
+                phase.finish()
         if self.decided or not arrived or ballot in self.nacked:
             return
         proposal = self._choose_value(ballot)
-        yield from self.transport.broadcast(Accept(ballot=ballot, value=proposal))
-        yield from wait_until(
-            env,
-            self.wake,
-            lambda: len(self.accepts.get(ballot, ())) >= self.quorum
-            or ballot in self.nacked
-            or self.decided,
-            timeout=self.config.round_timeout,
-        )
+        phase = obs and obs.phase("paxos.accept", ballot=str(ballot))
+        try:
+            yield from self.transport.broadcast(Accept(ballot=ballot, value=proposal))
+            yield from wait_until(
+                env,
+                self.wake,
+                lambda: len(self.accepts.get(ballot, ())) >= self.quorum
+                or ballot in self.nacked
+                or self.decided,
+                timeout=self.config.round_timeout,
+            )
+        finally:
+            if phase:
+                phase.finish()
         if self.decided or len(self.accepts.get(ballot, ())) < self.quorum:
             return
         yield from self.transport.broadcast(Decision(value=proposal))

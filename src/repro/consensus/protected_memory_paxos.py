@@ -168,8 +168,14 @@ class PmpNode:
             result = yield from env.write(mid, REGION, (REGION, int(env.pid)), slot_value)
             return _ChainResult(write_ok=result.ok, view=None)
 
-        yield from chains.launch(phase2_chain)
-        yield from chains.wait_for(majority)
+        obs = env.obs
+        phase = obs and obs.phase("pmp.phase2", ballot=str(prop_nr))
+        try:
+            yield from chains.launch(phase2_chain)
+            yield from chains.wait_for(majority)
+        finally:
+            if phase:
+                phase.finish()
         if any(not r.write_ok for r in chains.results.values()):
             return  # permission was taken: a newer leader exists; restart
         self._learn(my_value)
@@ -204,8 +210,14 @@ class PmpNode:
             snap = yield from env.snapshot(mid, REGION, (REGION,))
             return _ChainResult(write_ok=True, view=snap.value if snap.ok else None)
 
-        yield from chains.launch(phase1_chain)
-        yield from chains.wait_for(majority)
+        obs = env.obs
+        phase = obs and obs.phase("pmp.prepare", ballot=str(prop_nr))
+        try:
+            yield from chains.launch(phase1_chain)
+            yield from chains.wait_for(majority)
+        finally:
+            if phase:
+                phase.finish()
         completed = list(chains.results.values())
         if any(not r.write_ok for r in completed):
             return None

@@ -164,6 +164,10 @@ class MetricsLedger:
     #: stays EMPTY: a revocation storm or epoch cutover must force a
     #: fallback, never a stale answer
     stale_reads: List[str] = field(default_factory=list)
+    #: callbacks run (with the violation description) the moment a safety
+    #: violation is detected, BEFORE strict_safety raises — the flight
+    #: recorder's tripwire, firing while the evidence is still live
+    violation_hooks: List[Any] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
@@ -221,6 +225,8 @@ class MetricsLedger:
 
     def _violation(self, description: str) -> None:
         self.violations.append(description)
+        for hook in self.violation_hooks:
+            hook(description)
         if self.strict_safety:
             raise AgreementViolation(description)
 
@@ -277,6 +283,8 @@ class MetricsLedger:
         ``strict_safety`` so the offending run fails loudly.
         """
         self.stale_reads.append(description)
+        for hook in self.violation_hooks:
+            hook(description)
         if self.strict_safety:
             raise StalenessViolation(description)
 

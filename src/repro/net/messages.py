@@ -25,7 +25,7 @@ _next_msg_id = 0
 class Envelope:
     """One message in flight or delivered."""
 
-    __slots__ = ("src", "dst", "topic", "payload", "sent_at", "msg_id")
+    __slots__ = ("src", "dst", "topic", "payload", "sent_at", "msg_id", "ctx")
 
     def __init__(
         self,
@@ -46,6 +46,9 @@ class Envelope:
             _next_msg_id += 1
             msg_id = _next_msg_id
         self.msg_id = msg_id
+        #: causal trace context riding the message (a repro.obs Span opened
+        #: by the send path, closed at delivery); None when obs is detached
+        self.ctx: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

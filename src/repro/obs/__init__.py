@@ -1,0 +1,62 @@
+"""repro.obs — causal tracing, metrics registry, profiling, flight recorder.
+
+Quickstart::
+
+    from repro import obs
+
+    runtime = obs.attach(cluster.kernel)           # before running
+    runtime.add_sink(obs.ChromeTraceSink("trace.json"))  # Perfetto-viewable
+    ... run the experiment ...
+    path = obs.critical_path(runtime, pid=0)
+    print(path.summary())      # "= 0 message delays + 2 memory delays + ..."
+    runtime.close()
+"""
+
+from repro.obs.critical import (
+    CriticalPath,
+    Segment,
+    critical_path,
+    critical_path_between,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.profiler import TaskProfiler
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import ObsRuntime, PhaseHandle, attach, detach
+from repro.obs.sinks import ChromeTraceSink, JsonlSink
+from repro.obs.spans import (
+    K_MEMOP,
+    K_MSG,
+    K_PHASE,
+    K_POINT,
+    K_TASK,
+    Span,
+    render_tree,
+    span_tree,
+)
+
+__all__ = [
+    "CriticalPath",
+    "Segment",
+    "critical_path",
+    "critical_path_between",
+    "FlightRecorder",
+    "TaskProfiler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsRuntime",
+    "PhaseHandle",
+    "attach",
+    "detach",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "K_MEMOP",
+    "K_MSG",
+    "K_PHASE",
+    "K_POINT",
+    "K_TASK",
+    "Span",
+    "render_tree",
+    "span_tree",
+]

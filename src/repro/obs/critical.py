@@ -1,0 +1,209 @@
+"""Critical-path analysis: decision latency in the paper's delay units.
+
+The paper's complexity metric (Section 3) prices a message at one delay
+and a memory operation at two (request leg + response leg), with
+computation free.  Given the span tree of a traced run, this module
+decomposes the interval between a process's proposal and its decision
+into exactly those units plus *queueing* — virtual time on the path
+covered by no transport span (backoff sleeps, inbox waits, batching
+delays).
+
+The algorithm walks backward from the decision: repeatedly take the
+transport span of the decision's trace that ends latest at or before the
+cursor (ties: longest, then earliest-created — deterministic), account the
+gap above it as queueing, and jump to its start.  Under the nominal
+latency model this tiles the interval perfectly, reproducing the paper's
+counts: steady-state Protected Memory Paxos decides after one phase-2
+write = **2 memory delays**; message-passing Paxos' decision-forming
+accept phase costs **2 message delays** (4 end-to-end with prepare).
+
+Phase attribution assigns each path segment to the innermost ``phase``
+span of the trace containing it, so the decomposition also answers *which
+phase* spent the delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.reporting import format_table
+from repro.obs.spans import K_MEMOP, K_MSG, K_PHASE, Span
+
+#: slack for float comparisons on the virtual-time axis
+EPS = 1e-9
+
+#: delay units per transport span kind (the paper's pricing)
+MSG_DELAYS = 1.0
+MEMOP_DELAYS = 2.0
+
+
+@dataclass
+class Segment:
+    """One tile of the critical path."""
+
+    start: float
+    end: float
+    kind: str  # "msg" | "memop" | "queue"
+    name: str
+    delays: float
+    phase: Optional[str] = None
+    span: Optional[Span] = None
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """A decision's latency, decomposed into the paper's units."""
+
+    pid: int
+    proposed_at: float
+    decided_at: float
+    segments: List[Segment] = field(default_factory=list)
+    message_delays: float = 0.0
+    memory_delays: float = 0.0
+    queueing: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """End-to-end decision latency in virtual time units."""
+        return self.decided_at - self.proposed_at
+
+    def phase_delays(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals: phase name -> {"msg": .., "mem": .., "queue": ..}."""
+        out: Dict[str, Dict[str, float]] = {}
+        for segment in self.segments:
+            bucket = out.setdefault(
+                segment.phase or "(none)", {"msg": 0.0, "mem": 0.0, "queue": 0.0}
+            )
+            if segment.kind == "msg":
+                bucket["msg"] += segment.delays
+            elif segment.kind == "memop":
+                bucket["mem"] += segment.delays
+            else:
+                bucket["queue"] += segment.delays
+        return out
+
+    def summary(self) -> str:
+        """Human-readable decomposition table."""
+        rows = [
+            [
+                f"{s.start:g}..{s.end:g}",
+                s.kind,
+                s.name,
+                s.phase or "-",
+                f"{s.delays:g}",
+            ]
+            for s in self.segments
+        ]
+        table = format_table(["interval", "kind", "what", "phase", "delays"], rows)
+        return (
+            f"decision of p{self.pid + 1}: {self.total:g} units "
+            f"= {self.message_delays:g} message delays "
+            f"+ {self.memory_delays:g} memory delays "
+            f"+ {self.queueing:g} queueing\n{table}"
+        )
+
+
+def _attribute_phases(segments: List[Segment], phases: List[Span]) -> None:
+    for segment in segments:
+        mid = (segment.start + segment.end) / 2.0
+        innermost: Optional[Span] = None
+        for phase in phases:
+            end = phase.end if phase.end is not None else float("inf")
+            if phase.start - EPS <= mid <= end + EPS:
+                if innermost is None or phase.start > innermost.start:
+                    innermost = phase
+        if innermost is not None:
+            segment.phase = innermost.name
+
+
+def critical_path_between(
+    spans: List[Span],
+    pid: int,
+    proposed_at: float,
+    decided_at: float,
+    trace_id: Optional[int] = None,
+) -> CriticalPath:
+    """Decompose ``[proposed_at, decided_at]`` against transport *spans*.
+
+    *spans* is the finished-span list; *trace_id* (when known) restricts
+    candidates to the decision's causal tree so concurrent instances do
+    not steal path segments from each other.
+    """
+    path = CriticalPath(pid=int(pid), proposed_at=proposed_at, decided_at=decided_at)
+    candidates = [
+        s
+        for s in spans
+        if s.kind in (K_MSG, K_MEMOP)
+        and s.end is not None
+        and (trace_id is None or s.trace_id == trace_id)
+        and s.end <= decided_at + EPS
+        and s.end > proposed_at + EPS
+    ]
+    phases = [
+        s
+        for s in spans
+        if s.kind == K_PHASE and (trace_id is None or s.trace_id == trace_id)
+    ]
+    cursor = decided_at
+    segments: List[Segment] = []
+    while cursor > proposed_at + EPS:
+        best: Optional[Span] = None
+        for s in candidates:
+            if s.end > cursor + EPS or s.start >= cursor - EPS:
+                continue
+            if (
+                best is None
+                or s.end > best.end + EPS
+                or (abs(s.end - best.end) <= EPS and s.start < best.start - EPS)
+                or (
+                    abs(s.end - best.end) <= EPS
+                    and abs(s.start - best.start) <= EPS
+                    and s.span_id < best.span_id
+                )
+            ):
+                best = s
+        if best is None:
+            segments.append(
+                Segment(proposed_at, cursor, "queue", "queue", cursor - proposed_at)
+            )
+            path.queueing += cursor - proposed_at
+            break
+        if cursor - best.end > EPS:
+            segments.append(Segment(best.end, cursor, "queue", "queue", cursor - best.end))
+            path.queueing += cursor - best.end
+        seg_start = max(best.start, proposed_at)
+        if best.kind == K_MSG:
+            delays = MSG_DELAYS
+            path.message_delays += delays
+        else:
+            delays = MEMOP_DELAYS
+            path.memory_delays += delays
+        segments.append(Segment(seg_start, best.end, best.kind, best.name, delays, span=best))
+        cursor = seg_start
+    segments.reverse()
+    path.segments = segments
+    _attribute_phases(segments, phases)
+    return path
+
+
+def critical_path(runtime, pid, instance=None) -> CriticalPath:
+    """Analyze the recorded decision of *pid* (and *instance*) on *runtime*.
+
+    Uses the decision point captured by ``env.decide`` (time + trace) and
+    the ledger's proposal time as the window.
+    """
+    point = runtime.decide_points.get((pid, instance))
+    if point is None:
+        raise ValueError(f"no recorded decision for pid={pid!r} instance={instance!r}")
+    decided_at, trace_id = point
+    proposed_at = runtime.kernel.metrics.proposals.get(pid)
+    if proposed_at is None:
+        raise ValueError(f"no recorded proposal for pid={pid!r}")
+    return critical_path_between(
+        runtime.spans, int(pid), proposed_at, decided_at, trace_id
+    )

@@ -1,0 +1,64 @@
+"""Crash-dump flight recorder: the last N spans, dumped on a tripwire.
+
+Safety monitors (`strict_safety` agreement/staleness checks, FaultScript
+assertions) raise the moment a violation is detected — which is exactly
+when the evidence of *how* the run got there is about to be lost.  The
+flight recorder keeps a bounded ring of recently finished spans and, when
+tripped, snapshots them together with every still-open span (in-flight
+messages, hung memory ops, live phases) — the open set is usually the
+interesting part of a stuck or diverged run.
+
+The runtime registers :meth:`trip` with the metrics ledger's violation
+hooks, so an ``AgreementViolation`` or ``StalenessViolation`` under
+``strict_safety`` dumps automatically before the exception unwinds.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import Span
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans plus trip-time dumping."""
+
+    def __init__(self, capacity: int = 512, path: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        #: where :meth:`trip` writes the dump (None: in-memory only)
+        self.path = path
+        self.ring: deque = deque(maxlen=capacity)
+        #: dumps produced so far, newest last (kept for tests/inspection)
+        self.dumps: List[Dict[str, Any]] = []
+        #: supplier of currently-open spans, wired by the runtime
+        self._open_supplier = None
+
+    def record(self, span: Span) -> None:
+        self.ring.append(span)
+
+    def wire(self, open_supplier) -> None:
+        """Install the runtime's live-span supplier (called on attach)."""
+        self._open_supplier = open_supplier
+
+    def trip(self, reason: str, now: float) -> Dict[str, Any]:
+        """Snapshot the ring + open spans; write to :attr:`path` if set."""
+        open_spans = [] if self._open_supplier is None else list(self._open_supplier())
+        dump = {
+            "reason": reason,
+            "time": now,
+            "recent": [span.to_dict() for span in self.ring],
+            "open": [span.to_dict() for span in open_spans],
+        }
+        self.dumps.append(dump)
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(dump, handle, indent=1)
+        return dump
+
+    @property
+    def last_dump(self) -> Optional[Dict[str, Any]]:
+        return self.dumps[-1] if self.dumps else None

@@ -1,0 +1,363 @@
+"""The observability runtime: span recording wired into the kernel.
+
+An :class:`ObsRuntime` is *attached* to a kernel (:func:`attach`); until
+then ``kernel.obs`` is ``None`` and every kernel-side hook is one
+attribute load and one branch — the same zero-cost contract as
+``tracer.enabled``.  Attached, the runtime receives the kernel's
+causal hook calls and turns them into the span tree:
+
+* every task gets a ``task`` span; spawned tasks parent under the
+  spawner's current context;
+* every message gets a ``msg`` span riding the envelope (``env.ctx``);
+  delivery closes it, and the receiving task *adopts* the message span as
+  its context — the cross-process causal hop;
+* every memory operation gets a ``memop`` span keyed by its completion
+  token (or future): the response leg closes it, a crashed memory leaves
+  it open — exactly the RDMA "context rides the op" analogue;
+* protocols open ``phase`` spans through :meth:`phase` (via
+  ``env.obs``), nesting subsequent work under them;
+* proposals/decisions land as ``point`` events, remembering the trace a
+  decision belongs to for the critical-path analyzer.
+
+The runtime also owns the metrics registry (with a virtual-time sampling
+ticker), the per-task wall-clock profiler, the flight recorder (tripped by
+ledger violations), and the streaming sinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.profiler import TaskProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import K_MEMOP, K_MSG, K_PHASE, K_POINT, K_TASK, Span
+from repro.types import memory_name
+
+#: default bound on retained finished spans (ring: newest kept)
+DEFAULT_MAX_SPANS = 200_000
+
+
+class PhaseHandle:
+    """Open-phase handle returned by :meth:`ObsRuntime.phase`.
+
+    ``finish()`` closes the span and restores the task's previous context
+    (unless a message adoption already moved it — the newer causal link
+    wins).  Idempotent: double-finish is a no-op.
+    """
+
+    __slots__ = ("_runtime", "span", "_task", "_prev")
+
+    def __init__(self, runtime: "ObsRuntime", span: Span, task, prev) -> None:
+        self._runtime = runtime
+        self.span = span
+        self._task = task
+        self._prev = prev
+
+    def finish(self, **attrs: Any) -> None:
+        span = self.span
+        if span.end is not None:
+            return
+        if attrs:
+            if span.attrs is None:
+                span.attrs = {}
+            span.attrs.update(attrs)
+        if self._task.ctx is span:
+            self._task.ctx = self._prev
+        self._runtime._finish(span, self._runtime.kernel.now)
+
+
+class ObsRuntime:
+    """Span recorder + metrics registry + profiler + flight recorder."""
+
+    def __init__(
+        self,
+        kernel,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        profile: bool = True,
+        flight_capacity: int = 512,
+        flight_path: Optional[str] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.finished: deque = deque(maxlen=max_spans)
+        self.dropped = 0
+        self.max_spans = max_spans
+        self.registry = MetricsRegistry()
+        self.profiler: Optional[TaskProfiler] = TaskProfiler() if profile else None
+        self.flight = FlightRecorder(flight_capacity, flight_path)
+        self.flight.wire(self.open_spans)
+        self.sinks: List[Any] = []
+        self.current_task = None
+        #: (pid, instance) -> (decided_at, trace_id) for the analyzer
+        self.decide_points: Dict[Tuple[Any, Any], Tuple[float, Optional[int]]] = {}
+        self._open: Dict[int, Span] = {}
+        self._task_spans: Dict[int, Span] = {}
+        self._op_spans: Dict[Any, Span] = {}
+        self._next_span = 0
+        self._next_trace = 0
+        self._t0 = 0.0
+        self._sample_interval: Optional[float] = None
+        self._sample_until: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # span plumbing
+    # ------------------------------------------------------------------
+    def _start(
+        self,
+        name: str,
+        kind: str,
+        actor: str,
+        parent: Optional[Span],
+        attrs: Optional[Dict[str, Any]],
+        now: float,
+    ) -> Span:
+        self._next_span += 1
+        if parent is None:
+            self._next_trace += 1
+            trace_id = self._next_trace
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(self._next_span, parent_id, trace_id, name, kind, actor, now, attrs)
+        self._open[span.span_id] = span
+        return span
+
+    def _finish(self, span: Span, now: float) -> None:
+        span.end = now
+        self._open.pop(span.span_id, None)
+        finished = self.finished
+        if len(finished) == self.max_spans:
+            self.dropped += 1
+        finished.append(span)
+        self.flight.record(span)
+        for sink in self.sinks:
+            sink.emit(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans, oldest retained first."""
+        return list(self.finished)
+
+    def open_spans(self) -> List[Span]:
+        """Spans started but never closed (in flight, hung, or live)."""
+        return list(self._open.values())
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def close(self) -> None:
+        """Flush and close every sink (call once at end of run)."""
+        for sink in self.sinks:
+            sink.close()
+        self.sinks = []
+
+    # ------------------------------------------------------------------
+    # kernel hooks (all behind ``kernel.obs is not None``)
+    # ------------------------------------------------------------------
+    def task_spawned(self, task) -> None:
+        span = self._start(task.name, K_TASK, task.label, task.ctx, None, self.kernel.now)
+        self._task_spans[task.task_id] = span
+        task.ctx = span
+
+    def task_killed(self, task, now: float) -> None:
+        """Close a crashed process's task span (attr marks the kill)."""
+        span = self._task_spans.pop(task.task_id, None)
+        if span is not None and span.end is None:
+            span.attrs = {**(span.attrs or {}), "killed": True}
+            self._finish(span, now)
+
+    def enter_task(self, task) -> None:
+        self.current_task = task
+        if self.profiler is not None:
+            self._t0 = perf_counter()
+
+    def exit_task(self, task, now: float) -> None:
+        if self.profiler is not None:
+            self.profiler.add(task.task_id, task.label, perf_counter() - self._t0, now)
+        self.current_task = None
+        if task.done:
+            span = self._task_spans.pop(task.task_id, None)
+            if span is not None:
+                self._finish(span, now)
+
+    def msg_sent(self, task, env, now: float) -> Span:
+        """Open the transport span that rides the envelope (``env.ctx``)."""
+        return self._start(
+            "msg:" + env.topic,
+            K_MSG,
+            task.label,
+            task.ctx,
+            {"src": int(env.src), "dst": int(env.dst), "msg_id": env.msg_id},
+            now,
+        )
+
+    def msg_delivered(self, env, now: float) -> None:
+        span = env.ctx
+        if span is not None and span.end is None:
+            self._finish(span, now)
+
+    def op_started(self, task, key, mid, op, now: float) -> None:
+        """Open a memop span keyed by (task, token) or by the OpFuture."""
+        span = self._start(
+            type(op).__name__,
+            K_MEMOP,
+            task.label,
+            task.ctx,
+            {"mem": memory_name(mid)},
+            now,
+        )
+        self._op_spans[key] = span
+
+    def op_resolved(self, key, now: float, status: str) -> None:
+        span = self._op_spans.pop(key, None)
+        if span is not None:
+            span.attrs["status"] = status
+            self._finish(span, now)
+
+    # ------------------------------------------------------------------
+    # protocol-facing API (via ``env.obs``)
+    # ------------------------------------------------------------------
+    def phase(self, name: str, **attrs: Any) -> Optional[PhaseHandle]:
+        """Open a phase span under the current task's context."""
+        task = self.current_task
+        if task is None:
+            return None
+        span = self._start(
+            name, K_PHASE, task.label, task.ctx, attrs or None, self.kernel.now
+        )
+        handle = PhaseHandle(self, span, task, task.ctx)
+        task.ctx = span
+        return handle
+
+    def phase_under(self, name: str, parent, **attrs: Any) -> Optional[PhaseHandle]:
+        """Open a phase span under an explicit *parent* context.
+
+        This is how causality crosses a queue handoff that no message or
+        memory op carries: the enqueuer's context is stashed with the
+        item, and the dequeuing task (e.g. a shard leader draining its
+        batch) opens its work span under it — so a client's ``put`` trace
+        continues into the consensus instance that commits it.  Falls
+        back to the current task's context when *parent* is ``None``.
+        """
+        task = self.current_task
+        if task is None:
+            return None
+        if parent is None:
+            parent = task.ctx
+        span = self._start(
+            name, K_PHASE, task.label, parent, attrs or None, self.kernel.now
+        )
+        handle = PhaseHandle(self, span, task, task.ctx)
+        task.ctx = span
+        return handle
+
+    def point(self, name: str, **attrs: Any) -> Span:
+        """Record an instantaneous event under the current context."""
+        task = self.current_task
+        parent = None if task is None else task.ctx
+        actor = "kernel" if task is None else task.label
+        span = self._start(name, K_POINT, actor, parent, attrs or None, self.kernel.now)
+        self._finish(span, self.kernel.now)
+        return span
+
+    def proposed(self, pid, now: float) -> None:
+        self.point("propose", pid=int(pid))
+
+    def decided(self, pid, value, instance, now: float) -> None:
+        span = self.point("decide", pid=int(pid), value=value, instance=instance)
+        self.decide_points[(pid, instance)] = (now, span.trace_id)
+
+    # ------------------------------------------------------------------
+    # metrics sampling (virtual-time ticker)
+    # ------------------------------------------------------------------
+    def start_sampling(self, interval: float, until: Optional[float] = None) -> None:
+        """Sample standard gauges every *interval* virtual units.
+
+        The ticker rechains through ``kernel.call_at``; pass *until* (or
+        run the kernel with its own ``until``) so the chain terminates.
+        """
+        if interval <= 0:
+            raise ValueError("sampling interval must be > 0")
+        self._sample_interval = interval
+        self._sample_until = until
+        self._tick()
+
+    def _tick(self) -> None:
+        kernel = self.kernel
+        self.sample_now()
+        interval = self._sample_interval
+        if interval is None:
+            return
+        next_at = kernel.now + interval
+        if self._sample_until is not None and next_at > self._sample_until:
+            return
+        kernel.call_at(next_at, self._tick)
+
+    def sample_now(self) -> None:
+        """Take one sample of every standard gauge at the current instant."""
+        kernel = self.kernel
+        now = kernel.now
+        gauge = self.registry.gauge
+        gauge("kernel.queue_depth").sample(now, len(kernel.queue))
+        network = kernel.network
+        for pid in range(kernel.config.n_processes):
+            gauge("net.inbox", pid=pid).sample(now, network.pending_count(pid))
+        for memory in kernel.memories:
+            gauge("mem.naks", mem=int(memory.mid)).sample(now, memory.counts.naks)
+        ledger = kernel.metrics
+        gauge("reads.fallbacks").sample(now, ledger.total_read_fallbacks())
+        gauge("reconfig.steps").sample(now, len(ledger.reconfig_timeline))
+        moved = 0
+        for record in ledger.reconfig_timeline:
+            if record.kind == "migrate":
+                moved += record.detail.get("keys", 0)
+        gauge("reconfig.keys_moved").sample(now, moved)
+
+    # ------------------------------------------------------------------
+    # violation tripwire (registered with the metrics ledger on attach)
+    # ------------------------------------------------------------------
+    def _on_violation(self, description: str) -> None:
+        self.flight.trip(description, self.kernel.now)
+
+
+def attach(
+    kernel,
+    *,
+    max_spans: int = DEFAULT_MAX_SPANS,
+    profile: bool = True,
+    flight_capacity: int = 512,
+    flight_path: Optional[str] = None,
+) -> ObsRuntime:
+    """Attach an observability runtime to *kernel* and return it.
+
+    Until this is called, ``kernel.obs`` is ``None`` and observability
+    costs one pointer check per kernel hook.
+    """
+    if kernel.obs is not None:
+        return kernel.obs
+    runtime = ObsRuntime(
+        kernel,
+        max_spans=max_spans,
+        profile=profile,
+        flight_capacity=flight_capacity,
+        flight_path=flight_path,
+    )
+    kernel.obs = runtime
+    kernel.metrics.violation_hooks.append(runtime._on_violation)
+    return runtime
+
+
+def detach(kernel) -> None:
+    """Detach the runtime (closing its sinks); hooks go quiescent again."""
+    runtime = kernel.obs
+    if runtime is None:
+        return
+    runtime.close()
+    try:
+        kernel.metrics.violation_hooks.remove(runtime._on_violation)
+    except ValueError:
+        pass
+    kernel.obs = None

@@ -1,0 +1,96 @@
+"""Streaming span sinks: JSONL and Chrome trace-event format.
+
+Sinks replace trust in the in-memory span ring for long runs: every span
+is written the moment it finishes, so a run that crashes mid-way still
+leaves a readable trace on disk.
+
+:class:`ChromeTraceSink` writes the Trace Event Format consumed by
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: load the file
+and the span tree renders as one lane per process, one row per task.
+Virtual time has no wall-clock unit, so one virtual delay unit is mapped
+to 1 ms (1000 trace-format microseconds) — a 2-delay PMP decision shows as
+a 2 ms bar.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from repro.obs.spans import K_POINT, Span
+
+#: trace-format microseconds per virtual time unit (1 unit -> 1 ms)
+US_PER_UNIT = 1000.0
+
+
+class JsonlSink:
+    """One JSON object per finished span, streamed to *path* (or file)."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+
+    def emit(self, span: Span) -> None:
+        self._file.write(json.dumps(span.to_dict()) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+
+class ChromeTraceSink:
+    """Perfetto-viewable trace: ``X`` duration events, ``i`` instants.
+
+    The JSON array is streamed open; :meth:`close` terminates it.  Perfetto
+    tolerates an unterminated array, so even a crashed run's file loads.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self._file.write("[\n")
+        self._first = True
+
+    @staticmethod
+    def _lanes(span: Span) -> tuple:
+        # Actor labels look like "p1/shard0-leader" (process/task); Perfetto
+        # renders pid as the lane group and tid as the row within it.
+        process, _, thread = span.actor.partition("/")
+        return process or span.actor, thread or span.name
+
+    def emit(self, span: Span) -> None:
+        process, thread = self._lanes(span)
+        event = {
+            "name": f"{span.kind}:{span.name}",
+            "cat": span.kind,
+            "pid": process,
+            "tid": thread,
+            "ts": span.start * US_PER_UNIT,
+        }
+        if span.kind == K_POINT or span.end is None or span.end == span.start:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (span.end - span.start) * US_PER_UNIT
+        if span.attrs:
+            event["args"] = {k: repr(v) for k, v in span.attrs.items()}
+        event["args"] = {**event.get("args", {}), "trace": span.trace_id, "span": span.span_id}
+        prefix = "" if self._first else ",\n"
+        self._first = False
+        self._file.write(prefix + json.dumps(event))
+
+    def close(self) -> None:
+        self._file.write("\n]\n")
+        self._file.flush()
+        if self._owns:
+            self._file.close()

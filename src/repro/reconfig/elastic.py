@@ -373,6 +373,19 @@ class ElasticKV(ShardedKV):
         ledger = self.kernel.metrics
         number = epoch.number
         frontend = self.frontends[int(env.pid)]
+        obs = env.obs
+        phase = obs and obs.phase("reconfig.epoch", epoch=number)
+        try:
+            yield from self._execute_epoch_inner(
+                env, epoch, cfg, ledger, number, frontend
+            )
+        finally:
+            if phase:
+                phase.finish()
+
+    def _execute_epoch_inner(
+        self, env, epoch: Epoch, cfg, ledger, number: int, frontend
+    ) -> Generator:
         self.partitioner.stage(epoch.ring_version, epoch.shards)
 
         # 1. new shard groups (split): register the fenced region, spawn

@@ -189,8 +189,14 @@ class ShardFrontend:
         routing still points at the old ring.  Pass *session* to raise
         the client's consistency floor with the completion's watermark.
         """
+        obs = self.env.obs
+        phase = obs and obs.phase("client.submit", key=command.key, op=command.op)
         entry = self._register(command)
-        yield from self._route_loop(command, entry, pinned=shard)
+        try:
+            yield from self._route_loop(command, entry, pinned=shard)
+        finally:
+            if phase:
+                phase.finish(shard=entry.shard)
         del self.pending[command.identity]
         if session is not None and entry.shard is not None:
             session.note(entry.shard, entry.watermark)
@@ -228,31 +234,45 @@ class ShardFrontend:
         ignores the flag — a stray late NAK must never abort a submit.
         """
         env = self.env
+        obs = env.obs
         first = True
+        attempt = 0
         while not entry.done and not (read_plane and entry.failed):
             if not first:
                 self.retries += 1
+                if obs:
+                    obs.registry.counter(
+                        "router.retries", pid=int(env.pid)
+                    ).inc()
             first = False
+            attempt += 1
             shard = pinned if pinned is not None else self.shard_for(command.key)
             leader = self.leader_of(shard)
-            if read_plane:
-                if leader == int(env.pid):
-                    self.read_paths.leader_read_submit(shard, command, leader)
+            phase = obs and obs.phase(
+                "router.attempt", shard=shard, leader=leader, n=attempt
+            )
+            try:
+                if read_plane:
+                    if leader == int(env.pid):
+                        self.read_paths.leader_read_submit(shard, command, leader)
+                    else:
+                        topic = self._read_topics.get(shard)
+                        if topic is None:
+                            topic = self._read_topics[shard] = read_topic(shard)
+                        yield env.send(leader, command, topic=topic)
+                elif leader == int(env.pid):
+                    self.local_submit(shard, command)
                 else:
-                    topic = self._read_topics.get(shard)
+                    topic = self._topics.get(shard)
                     if topic is None:
-                        topic = self._read_topics[shard] = read_topic(shard)
+                        topic = self._topics[shard] = request_topic(shard)
+                    # ProcessId is a NewType over int: skip the wrap on the
+                    # per-request path (hash/eq are identical).
                     yield env.send(leader, command, topic=topic)
-            elif leader == int(env.pid):
-                self.local_submit(shard, command)
-            else:
-                topic = self._topics.get(shard)
-                if topic is None:
-                    topic = self._topics[shard] = request_topic(shard)
-                # ProcessId is a NewType over int: skip the wrap on the
-                # per-request path (hash/eq are identical).
-                yield env.send(leader, command, topic=topic)
-            yield env.gate_wait(entry.gate, timeout=self.retry_timeout)
+                yield env.gate_wait(entry.gate, timeout=self.retry_timeout)
+            finally:
+                if phase:
+                    phase.finish(answered=entry.done)
 
     # ------------------------------------------------------------------
     # the read plane
@@ -299,12 +319,18 @@ class ShardFrontend:
         # overlapping reads of one session (an open-loop client) may
         # legally complete out of watermark order
         floors = dict(session.floors) if session is not None else None
-        if mode == READ_LEADER:
-            result = yield from self._leader_get(command, rp, session, floors)
-        elif mode == READ_QUORUM:
-            result = yield from self._quorum_get(command, rp, session, floors)
-        else:  # READ_LOCAL
-            result = yield from self._local_get(command, rp, session, floors)
+        obs = self.env.obs
+        phase = obs and obs.phase("client.get", key=command.key, mode=mode)
+        try:
+            if mode == READ_LEADER:
+                result = yield from self._leader_get(command, rp, session, floors)
+            elif mode == READ_QUORUM:
+                result = yield from self._quorum_get(command, rp, session, floors)
+            else:  # READ_LOCAL
+                result = yield from self._local_get(command, rp, session, floors)
+        finally:
+            if phase:
+                phase.finish()
         return result
 
     def _finish_read(
@@ -342,6 +368,9 @@ class ShardFrontend:
     ) -> Generator:
         """The read plane refused: answer through the command plane."""
         rp.ledger.count_read_fallback(shard, mode)
+        obs = self.env.obs
+        if obs:
+            obs.registry.counter("reads.fallback", shard=shard, mode=mode).inc()
         result = yield from self.submit(command, session=session)
         return result
 

@@ -201,6 +201,12 @@ class ShardedKV:
 
         #: leader-side pending commands, one queue per shard
         self.queues: Dict[int, Deque[KVCommand]] = {g: deque() for g in self.shards}
+        #: enqueue-time trace context per command identity — how a client
+        #: request's causal chain crosses the leader's queue handoff (the
+        #: draining proposer parents its batch span under the first
+        #: command's context).  Only populated while an observability
+        #: runtime is attached; popped at drain time.
+        self._cmd_ctx: Dict[Tuple[Any, Any], Any] = {}
         self.machines: Dict[Tuple[int, int], KVStateMachine] = {}
         self.logs: Dict[Tuple[int, int], ReplicatedLog] = {}
         self.frontends: Dict[int, ShardFrontend] = {}
@@ -445,8 +451,28 @@ class ShardedKV:
     # ------------------------------------------------------------------
     # per-shard server tasks
     # ------------------------------------------------------------------
+    def _note_cmd_ctx(self, command: KVCommand) -> None:
+        """Stash the enqueuing task's trace context for the drain side."""
+        obs = self.kernel.obs
+        if obs is not None and obs.current_task is not None:
+            token = command.identity
+            if token is not None:
+                self._cmd_ctx[token] = obs.current_task.ctx
+
+    def _pop_cmd_ctx(self, batch: Sequence[KVCommand]):
+        """Retire the batch's stashed contexts; returns the first one."""
+        parent = None
+        pop = self._cmd_ctx.pop
+        for command in batch:
+            ctx = pop(command.identity, None)
+            if parent is None:
+                parent = ctx
+        return parent
+
     def _local_submit(self, shard: int, command: KVCommand) -> None:
         """Enqueue a request arriving on the shard leader's own process."""
+        if self.kernel.obs is not None:
+            self._note_cmd_ctx(command)
         queue = self.queues[shard]
         queue.append(command)
         # The shard server only parks on the gate when its queue is empty,
@@ -466,6 +492,8 @@ class ShardedKV:
             envelope = yield recv_request
             if envelope is None:
                 continue
+            if self.kernel.obs is not None:
+                self._note_cmd_ctx(envelope.payload)
             queue.append(envelope.payload)
             if len(queue) == 1:
                 env.signal(gate)
@@ -489,6 +517,9 @@ class ShardedKV:
             command = queue.popleft()
             if self._drainable(shard, command):
                 batch.append(command)
+            elif self._cmd_ctx:
+                # seal-dropped: retire its stashed trace context too
+                self._cmd_ctx.pop(command.identity, None)
         return tuple(batch)
 
     def _proposer(self, shard: int, env, log: ReplicatedLog) -> Generator:
@@ -511,11 +542,30 @@ class ShardedKV:
                 # client retry cycle
                 yield env.gate_wait(self._gates[shard], timeout=self.config.idle_poll)
                 continue
-            decided = yield from log.propose_batch(slot, batch)
+            obs = env.obs
+            phase = obs and obs.phase_under(
+                "leader.batch",
+                self._pop_cmd_ctx(batch),
+                shard=shard,
+                slot=slot,
+                size=len(batch),
+            )
+            try:
+                decided = yield from log.propose_batch(slot, batch)
+            finally:
+                if phase:
+                    phase.finish()
             # per-shard commit rate (what the autoscaler differentiates),
             # credited once by the committing leader — not per replica
             if type(decided) is Batch and decided.commands:
                 ledger.count_shard_commit(shard, len(decided.commands))
+                if obs:
+                    obs.registry.counter("shard.commits", shard=shard).inc(
+                        len(decided.commands)
+                    )
+                    obs.registry.histogram("shard.batch_fill", shard=shard).observe(
+                        len(decided.commands)
+                    )
             slot = log.applied_upto + 1
 
     def _bft_driver(self, shard: int, env, machine: KVStateMachine) -> Generator:
@@ -548,6 +598,8 @@ class ShardedKV:
                         self._gates[shard], timeout=cfg.bft_leader_timeout / 2
                     )
                 value: Any = Batch(self._drain(shard))
+                if self._cmd_ctx:
+                    self._pop_cmd_ctx(value.commands)
             else:
                 value = Batch()  # follower no-op input; leader's batch wins
             decided = yield from protocol.run_instance(
@@ -644,6 +696,8 @@ class ShardedKV:
             batch = tuple(queue)
             queue.clear()
             served = None
+            obs = env.obs
+            phase = obs and obs.phase("read.serve", shard=shard, size=len(batch))
             if log.serves_local_reads:
                 watermark = log.applied_watermark
                 machine = self.machines[(pid, shard)]
@@ -656,6 +710,12 @@ class ShardedKV:
                 # the grant is known lost (revocation observed, or a
                 # recovered leader pre-prepare): refuse without probing
                 held = False
+            if phase:
+                phase.finish(held=held)
+            if obs:
+                obs.registry.counter(
+                    "reads.served" if held else "reads.naked", shard=shard
+                ).inc(len(batch))
             if held:
                 for command, src, value in served:
                     yield from self._reply_read(

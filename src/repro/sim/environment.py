@@ -88,6 +88,16 @@ class ProcessEnv:
         task (the model-conformance mode of Section 3)."""
         return self._kernel.config.strict_outstanding
 
+    @property
+    def obs(self):
+        """The attached observability runtime, or None.
+
+        Protocol code opens phase spans with the short-circuit idiom
+        ``ph = env.obs and env.obs.phase("name")`` so a detached runtime
+        costs one attribute read — no kwargs dict is ever built.
+        """
+        return self._kernel.obs
+
     def leader(self) -> ProcessId:
         """The Ω failure-detector oracle's current leader."""
         return ProcessId(self._kernel.omega(self._kernel.now))
@@ -111,6 +121,8 @@ class ProcessEnv:
 
     def mark_proposed(self) -> None:
         """Start the delay clock for this process's decision."""
+        if self._kernel.obs is not None:
+            self._kernel.obs.proposed(self.pid, self.now)
         self._kernel.metrics.record_proposal(self.pid, self.now)
 
     def decide(self, value: Any, instance: Any = None) -> None:
@@ -125,6 +137,8 @@ class ProcessEnv:
             tracer.record(
                 self.now, "decide", f"p{int(self.pid)+1}", value=value, instance=instance
             )
+        if self._kernel.obs is not None:
+            self._kernel.obs.decided(self.pid, value, instance, self.now)
         self._kernel.metrics.record_decision(self.pid, value, self.now, instance)
 
     def has_decided(self) -> bool:

@@ -51,7 +51,11 @@ closures:
   a second heap round-trip;
 * tracing and metrics are guarded by ``tracer.enabled`` before any label
   or kwargs are built, and the nominal latency model's constant delays are
-  cached so the common case skips per-message method dispatch.
+  cached so the common case skips per-message method dispatch;
+* the causal observability layer (:mod:`repro.obs`) hooks the same points
+  behind ``self.obs is not None`` — detached (the default), every hook is
+  one attribute load and one branch; attached, spans ride envelopes
+  (``env.ctx``) and memory-op completion tokens across the scheduler.
 """
 
 from __future__ import annotations
@@ -145,9 +149,18 @@ class Task:
         "pending_token",
         "_token_counter",
         "outstanding",
+        "ctx",
     )
 
-    def __init__(self, task_id: int, pid: ProcessId, name: str, gen: Generator, daemon: bool):
+    def __init__(
+        self,
+        task_id: int,
+        pid: ProcessId,
+        name: str,
+        gen: Generator,
+        daemon: bool,
+        ctx: Any = None,
+    ):
         self.task_id = task_id
         self.pid = pid
         self.name = name
@@ -159,6 +172,9 @@ class Task:
         self.pending_token: Optional[int] = None
         self._token_counter = 0
         self.outstanding: Dict[MemoryId, int] = {}
+        #: causal trace context (a repro.obs Span) new child spans parent
+        #: under; None whenever observability is detached
+        self.ctx = ctx
 
     def new_token(self) -> int:
         self._token_counter += 1
@@ -183,6 +199,9 @@ class Kernel:
         self.queue = EventQueue()
         self.rng = random.Random(config.seed)
         self.tracer = Tracer(enabled=config.trace)
+        #: attached observability runtime (repro.obs), or None — the
+        #: zero-cost default every hook below checks first
+        self.obs: Optional[Any] = None
         self.metrics = MetricsLedger(strict_safety=config.strict_safety)
         self.network = Network(config.n_processes)
         self.layout = layout or MemoryLayout([])
@@ -237,13 +256,26 @@ class Kernel:
     # ------------------------------------------------------------------
     # task management
     # ------------------------------------------------------------------
-    def spawn(self, pid: ProcessId, name: str, gen: Generator, daemon: bool = False) -> Task:
-        """Register *gen* as a task of process *pid*; first step runs at ``now``."""
+    def spawn(
+        self,
+        pid: ProcessId,
+        name: str,
+        gen: Generator,
+        daemon: bool = False,
+        ctx: Any = None,
+    ) -> Task:
+        """Register *gen* as a task of process *pid*; first step runs at ``now``.
+
+        *ctx* seeds the task's causal trace context (tasks spawned by a
+        running task inherit the spawner's — see ``_fx_spawn``).
+        """
         self._next_task_id += 1
-        task = Task(self._next_task_id, ProcessId(pid), name, gen, daemon)
+        task = Task(self._next_task_id, ProcessId(pid), name, gen, daemon, ctx)
         self.tasks.append(task)
         if self.tracer.enabled:
             self.tracer.record(self.now, "spawn", task.label)
+        if self.obs is not None:
+            self.obs.task_spawned(task)
         self.queue.push(self.now, EV_RESUME, task, None)
         return task
 
@@ -288,9 +320,12 @@ class Kernel:
         if pid in self.crashed_processes:
             return
         self.crashed_processes.add(pid)
+        obs = self.obs
         for task in self.tasks:
             if task.pid == pid and not task.done:
                 task.done = True
+                if obs is not None:
+                    obs.task_killed(task, self.now)
         self.network.drop_process(pid)
         self.tracer.record(self.now, "crash_proc", process_name(pid))
         self.metrics.record_fault(self.now, "crash_proc", process_name(pid))
@@ -510,6 +545,8 @@ class Kernel:
     def _ev_op_resolve(self, task, token, mid_result) -> None:
         mid, result = mid_result
         self._op_response_bookkeeping(task, mid, result)
+        if self.obs is not None:
+            self.obs.op_resolved((task.task_id, token), self.now, result.status.value)
         # Fold the wake straight into the resume (like EV_WAKE).
         if task.pending_token == token and not task.done:
             self._resume(task, result)
@@ -524,6 +561,9 @@ class Kernel:
         if not task.started:
             task.started = True
             value = None
+        obs = self.obs
+        if obs is not None:
+            obs.enter_task(task)
         gen_send = task.gen.send
         handlers = self._fx_handlers
         max_steps = self._max_inline_steps
@@ -536,6 +576,8 @@ class Kernel:
                 task.result = stop.value
                 if self.tracer.enabled:
                     self.tracer.record(self.now, "task_done", task.label, result=stop.value)
+                if obs is not None:
+                    obs.exit_task(task, self.now)
                 return
             steps += 1
             if steps > max_steps:
@@ -553,6 +595,8 @@ class Kernel:
                 )
             value = handlers[kind](task, effect)
             if value is _PARKED:
+                if obs is not None:
+                    obs.exit_task(task, self.now)
                 return
 
     def _wake(self, task: Task, token: int, value: Any) -> None:
@@ -579,6 +623,10 @@ class Kernel:
             )
         dst = effect.dst
         env = Envelope(task.pid, dst, effect.topic, effect.payload, self.now)
+        if self.obs is not None:
+            # The open msg span rides the envelope; delivery closes it and
+            # the receiver adopts it as its causal context.
+            env.ctx = self.obs.msg_sent(task, env, self.now)
         self._msg_counter[task.pid] += 1
         delay = self._msg_delay
         if delay is None:
@@ -627,6 +675,9 @@ class Kernel:
                 self.now, "deliver", process_name(env.dst),
                 src=process_name(env.src), topic=env.topic,
             )
+        obs = self.obs
+        if obs is not None and env.ctx is not None:
+            obs.msg_delivered(env, self.now)
         waiter = self.network.deliver(env)
         if waiter is not None:
             task = waiter.task
@@ -640,6 +691,8 @@ class Kernel:
                     and task.pid not in self.crashed_processes
                 ):
                     task.pending_token = None
+                    if obs is not None and env.ctx is not None:
+                        task.ctx = env.ctx
                     self._resume(task, env)
             else:  # pragma: no cover - compat for externally built waiters
                 waiter.wake(env)
@@ -672,11 +725,15 @@ class Kernel:
         op = effect.op
         req = self._op_request_leg(task, mid, op)
         future = OpFuture(task.pid, mid, op)
+        if self.obs is not None:
+            self.obs.op_started(task, future, mid, op, self.now)
         self.queue.push(self.now + req, EV_ARRIVE, task, future)
         return future
 
     def _resolve(self, task: Task, future: OpFuture, result) -> None:
         self._op_response_bookkeeping(task, future.mid, result)
+        if self.obs is not None:
+            self.obs.op_resolved(future, self.now, result.status.value)
         for notify in future.resolve(result):
             notify()
 
@@ -711,6 +768,8 @@ class Kernel:
     def _fx_recv(self, task: Task, effect: RecvEffect):
         env = self.network.try_consume(task.pid, effect.topic, effect.match)
         if env is not None:
+            if self.obs is not None and env.ctx is not None:
+                task.ctx = env.ctx
             return env
         token = task.new_token()
         self.network.park(
@@ -743,7 +802,9 @@ class Kernel:
         return _PARKED
 
     def _fx_spawn(self, task: Task, effect: SpawnEffect):
-        return self.spawn(task.pid, effect.name, effect.gen, daemon=effect.daemon)
+        return self.spawn(
+            task.pid, effect.name, effect.gen, daemon=effect.daemon, ctx=task.ctx
+        )
 
     def _fx_op(self, task: Task, effect):
         """Fused invoke + one-future wait (see :class:`OpEffect`)."""
@@ -751,6 +812,8 @@ class Kernel:
         op = effect.op
         req = self._op_request_leg(task, mid, op)
         token = task.new_token()
+        if self.obs is not None:
+            self.obs.op_started(task, (task.task_id, token), mid, op, self.now)
         self.queue.push(self.now + req, EV_OP_ARRIVE, task, token, (mid, op))
         return _PARKED
 

@@ -8,6 +8,7 @@ and failed benchmark shapes can be debugged by dumping them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -27,41 +28,60 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory trace log.
+    """Bounded in-memory trace log (a ring: overflow drops the *oldest*).
 
     ``enabled`` is the zero-cost contract with the hot path: callers on the
     kernel's inner loop check ``tracer.enabled`` *before* computing labels
     or building ``record()`` kwargs, so a disabled tracer costs one
     attribute read per action — no f-strings, no dicts, no call.
     ``record`` still self-guards for callers off the hot path.
+
+    Overflow keeps the **newest** events: a trace is debugged from its
+    failure backward, so the ring evicts from the front and ``dropped``
+    counts what scrolled out (also surfaced by :meth:`dump`).
     """
 
-    __slots__ = ("enabled", "max_events", "events", "truncated")
+    __slots__ = ("enabled", "max_events", "_events", "dropped")
 
     def __init__(self, enabled: bool = False, max_events: int = 200_000) -> None:
         self.enabled = enabled
         self.max_events = max_events
-        self.events: List[TraceEvent] = []
-        self.truncated = False
+        self._events: deque = deque(maxlen=max_events)
+        self.dropped = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (a list copy)."""
+        return list(self._events)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ring overflowed and early events were dropped."""
+        return self.dropped > 0
 
     def record(self, time: float, kind: str, actor: str, **detail: Any) -> None:
         if not self.enabled:
             return
-        if len(self.events) >= self.max_events:
-            self.truncated = True
-            return
-        self.events.append(TraceEvent(time, kind, actor, detail))
+        events = self._events
+        if len(events) == self.max_events:
+            self.dropped += 1
+        events.append(TraceEvent(time, kind, actor, detail))
 
     def of_kind(self, kind: str) -> Iterator[TraceEvent]:
-        return (e for e in self.events if e.kind == kind)
+        return (e for e in self._events if e.kind == kind)
 
     def by_actor(self, actor: str) -> Iterator[TraceEvent]:
-        return (e for e in self.events if e.actor == actor)
+        return (e for e in self._events if e.actor == actor)
 
     def first(self, kind: str) -> Optional[TraceEvent]:
         return next(self.of_kind(kind), None)
 
     def dump(self, limit: Optional[int] = None) -> str:
-        """Human-readable trace (optionally only the first *limit* events)."""
+        """Human-readable trace (optionally only the first *limit* retained
+        events); a header line reports how many older events the ring
+        dropped."""
         events = self.events if limit is None else self.events[:limit]
-        return "\n".join(str(e) for e in events)
+        lines = [str(e) for e in events]
+        if self.dropped:
+            lines.insert(0, f"[... {self.dropped} earlier events dropped ...]")
+        return "\n".join(lines)

@@ -288,7 +288,13 @@ class ReplicatedLog:
         """
         target = max(int(slot), self._wm_publish_floor)
         self._wm_publish_floor = target
-        ok = yield from publish_watermark(self.env, self.rx_region, target)
+        obs = self.env.obs
+        phase = obs and obs.phase("log.watermark", slot=target)
+        try:
+            ok = yield from publish_watermark(self.env, self.rx_region, target)
+        finally:
+            if phase:
+                phase.finish()
         return ok
 
     def quorum_read(self, timeout: Optional[float] = None) -> Generator:
@@ -316,6 +322,17 @@ class ReplicatedLog:
         """
         env = self.env
         majority = env.majority_of_memories()
+        obs = env.obs
+        phase = obs and obs.phase("log.quorum_read", floor=self.applied_upto)
+        try:
+            result = yield from self._quorum_read_inner(majority, timeout)
+        finally:
+            if phase:
+                phase.finish()
+        return result
+
+    def _quorum_read_inner(self, majority: int, timeout: Optional[float]) -> Generator:
+        env = self.env
         # The watermark MUST be observed before the entries are fetched:
         # slots <= watermark were majority-written before the watermark
         # reached the memory that served it, so entry reads issued AFTER
@@ -537,6 +554,8 @@ class ReplicatedLog:
         # leader resuming on a majority — two delays either way.
         slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
         key = self._slot_key(slot, int(env.pid))
+        obs = env.obs
+        phase = obs and obs.phase("log.phase2", slot=slot)
         if env.strict_outstanding:
             # Model-conformance mode: the one-outstanding rule is enforced
             # per task per memory, and the proposer task is long-lived — a
@@ -560,6 +579,8 @@ class ReplicatedLog:
             futures = yield from env.invoke_on_all(lambda mid: write_op)
             yield env.wait(futures, count=majority)
             failed = any(f.done and not f.ok for f in futures)
+        if phase:
+            phase.finish(failed=failed)
         if failed:
             self.permissions_held = False  # somebody grabbed the region
             return
@@ -601,8 +622,14 @@ class ReplicatedLog:
             snap = yield from env.snapshot(mid, self.region, (self.region,))
             return (True, snap.value if snap.ok else None)
 
-        yield from chains.launch(phase1)
-        yield from chains.wait_for(majority)
+        obs = env.obs
+        phase = obs and obs.phase("log.prepare", slot=slot)
+        try:
+            yield from chains.launch(phase1)
+            yield from chains.wait_for(majority)
+        finally:
+            if phase:
+                phase.finish()
         results = list(chains.results.values())
         if any(not ok for ok, _ in results):
             return None

@@ -139,6 +139,27 @@ class TestLatencyWindow:
         assert window.since(5) == window.latencies()
         assert window.since(20) == []
 
+    def test_since_exactly_at_the_retention_horizon(self):
+        window = LatencyWindow(bound=8)
+        for i in range(20):
+            window.append(float(i), float(i))
+        # ring holds global indices 12..19; 12 is the oldest retained —
+        # asking from exactly there must return the full ring, not clip
+        assert window.since(12) == [float(i) for i in range(12, 20)]
+        # one past the horizon drops exactly the oldest sample
+        assert window.since(13) == [float(i) for i in range(13, 20)]
+
+    def test_bound_of_one_keeps_only_the_newest(self):
+        window = LatencyWindow(bound=1)
+        for i in range(5):
+            window.append(float(i), float(i))
+        assert len(window) == 1
+        assert window.total == 5
+        assert window.latencies() == [4.0]
+        assert window.since(0) == [4.0]  # clipped to the single survivor
+        assert window.since(4) == [4.0]  # the horizon IS the newest
+        assert window.since(5) == []
+
     def test_ledger_applies_the_bound(self):
         ledger = MetricsLedger(strict_safety=False, latency_window_bound=4)
         for i in range(10):
