@@ -1,0 +1,7 @@
+"""``python -m repro.check`` — see :mod:`repro.check.cli`."""
+
+import sys
+
+from repro.check.cli import main
+
+sys.exit(main())

@@ -1,0 +1,71 @@
+"""Fault-injection choice points for the explorer.
+
+An :class:`InjectionSpec` names one fault action the explorer may take at
+any step of a run *instead of* firing a frontier entry: crash a process
+(optionally scheduling its recovery), or revoke/regrab a region's write
+permission on every memory (the paper's "deposed coordinator" adversary).
+The spec's events reuse the typed vocabulary of :mod:`repro.sim.faults`,
+so everything an injection does goes through the same failure controller
+as scripted chaos — crash hooks, respawn-on-recovery, metrics timeline.
+
+Budgets keep the search bounded: each spec fires at most once per run, and
+*groups* ("crash", "revoke") carry per-run budgets so "≤ 1 crash + ≤ 1
+revocation" is a first-class search bound rather than a prompt comment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.sim.faults import CrashProcess, PermissionChange, RecoverProcess
+
+
+class InjectionSpec:
+    """One nameable fault action the explorer may inject.
+
+    ``events`` is a sequence of ``(delay, fault_event)`` pairs; delay 0
+    executes through the failure controller at the injection instant, a
+    positive delay is armed as a normal ``EV_FAULT`` heap entry (e.g. a
+    crash now with its recovery 5 time units later).  ``group`` ties the
+    spec to a per-run budget; ``max_step`` optionally restricts how late
+    in a run the injection may fire.
+    """
+
+    __slots__ = ("name", "events", "group", "max_step")
+
+    def __init__(
+        self,
+        name: str,
+        events: Sequence[Tuple[float, Any]],
+        group: str = "fault",
+        max_step: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.events = tuple(events)
+        self.group = group
+        self.max_step = max_step
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InjectionSpec({self.name!r}, group={self.group!r})"
+
+
+def crash(pid: int, recover_after: Optional[float] = None) -> InjectionSpec:
+    """Crash process *pid*; with *recover_after*, schedule its recovery."""
+    events = [(0.0, CrashProcess(pid))]
+    name = f"crash-p{pid + 1}"
+    if recover_after is not None:
+        events.append((recover_after, RecoverProcess(pid)))
+        name = f"crash-recover-p{pid + 1}"
+    return InjectionSpec(name, events, group="crash")
+
+
+def revoke(pid: int, region: str) -> InjectionSpec:
+    """Adversarially re-grab *region* as exclusive writer *pid* on every
+    memory — the permission revocation a deposed coordinator suffers (and,
+    injected for a stale pid, the zombie's attempt to take the region
+    back)."""
+    return InjectionSpec(
+        f"revoke-{region}-p{pid + 1}",
+        [(0.0, PermissionChange(pid, region))],
+        group="revoke",
+    )

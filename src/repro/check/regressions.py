@@ -1,0 +1,275 @@
+"""The regression corpus: real, fixed kernel bugs as explorer targets.
+
+Both kernel bugs found so far were *schedule* bugs — correct under the
+default interleaving, wrong under a neighbouring one a random seed had to
+stumble into.  This module reintroduces each bug behind a private,
+test-only switch (:func:`seeded_bug`) and pairs it with a scenario whose
+**default schedule is benign**: running the scenario normally passes even
+on the buggy kernel, and only the explorer — by flipping the order of two
+same-instant events — exposes the corruption.  The corpus pins two
+properties at once:
+
+* the explorer *finds* each bug within a small budget (sensitivity), and
+* it finds *nothing* on the fixed kernel (specificity) — the schedules it
+  enumerates are real schedules, so zero violations is a statement about
+  the kernel, not about the harness.
+
+The bugs
+--------
+
+``unpark-token-collision`` (PR 5): ``Network.unpark`` removed parked
+receive waiters by suspension token alone.  Tokens are per-task counters
+(every task counts from 1), so a receive *timeout* on one task evicted an
+unrelated task's waiter that happened to share the token number — that
+task's message then bypassed the wake path and rotted in the inbox while
+the task parked forever.  Only the order "timeout fires before the other
+task's delivery, at the same instant" loses the wakeup.
+
+``stale-wake-token-check`` (PR 2 era): timer wakes checked only that the
+target task was suspended (*some* token pending), not that it was still
+suspended on *the timer's* token.  A task that timed out of one wait and
+immediately parked on a different one could be spuriously resumed by the
+stale first timer — here, a gate-wait timeout resuming a ``recv`` with
+``False`` instead of the message.  Only the order "stale timer fires
+before the delivery that should win the race" corrupts the result.
+
+These are **test-only flags**: nothing in the library reads them, the
+context manager patches the class and restores it, and the scenarios
+registered here exist purely as model-checking targets.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.scenarios import Scenario, ScenarioRun, register
+from repro.mem.layout import MemoryLayout
+from repro.mem.permissions import Permission
+from repro.mem.regions import RegionSpec
+from repro.net.network import Network
+from repro.sim.kernel import Kernel, SimConfig
+
+
+# ---------------------------------------------------------------------------
+# the seeded bugs (private, test-only)
+# ---------------------------------------------------------------------------
+def _buggy_unpark(self, pid, token, task=None):
+    # PR 5 bug: remove by token only — task identity ignored.
+    self.waiters[pid] = [w for w in self.waiters[pid] if w.token != token]
+
+
+def _buggy_ev_wake(self, task, token, value):
+    # PR 2-era bug: "is it suspended?" instead of "is it suspended on
+    # *this* token?" — a stale timer can resume a later, different wait.
+    if task.pending_token is not None and not task.done:
+        self._resume(task, value)
+
+
+_BUGS = {
+    "unpark-token-collision": (Network, "unpark", _buggy_unpark),
+    "stale-wake-token-check": (Kernel, "_ev_wake", _buggy_ev_wake),
+}
+
+
+@contextmanager
+def seeded_bug(name: Optional[str]):
+    """Reintroduce a fixed kernel bug for the context's duration.
+
+    ``None`` is a no-op (the fixed kernel), so corpus code can run the
+    same scenario with and without the bug.  The patch must be active
+    while the scenario *builds*: the kernel binds its handler table at
+    construction time, so patching after ``Kernel()`` would miss
+    ``_ev_wake``.
+    """
+    if name is None:
+        yield
+        return
+    try:
+        owner, attr, impl = _BUGS[name]
+    except KeyError:
+        raise KeyError(f"unknown seeded bug {name!r}; known: {sorted(_BUGS)}") from None
+    original = owner.__dict__[attr]
+    setattr(owner, attr, impl)
+    try:
+        yield
+    finally:
+        setattr(owner, attr, original)
+
+
+def known_bugs() -> List[str]:
+    return sorted(_BUGS)
+
+
+# ---------------------------------------------------------------------------
+# scenario scaffolding: a bare kernel with hand-written tasks
+# ---------------------------------------------------------------------------
+def _bare_kernel(n_processes: int, seed: int) -> Kernel:
+    region = RegionSpec("r", ("x",), Permission.open(range(n_processes)))
+    return Kernel(
+        SimConfig(n_processes=n_processes, n_memories=1, seed=seed),
+        MemoryLayout([region]),
+    )
+
+
+class _RegressionScenario(Scenario):
+    """Common shape: build a bare kernel + tasks under the (optional)
+    seeded bug, run the queue dry, then check recorded task results."""
+
+    bug: Optional[str] = None  # subclasses may seed a bug via params
+
+    def __init__(self, seed: int = 0, bug: Optional[str] = None) -> None:
+        super().__init__(seed=seed, bug=bug)
+
+    def _spawn(self, kernel: Kernel, results: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _verdict(self, results: Dict[str, Any]) -> List[str]:
+        raise NotImplementedError
+
+    def build(self) -> ScenarioRun:
+        bug = self.params.get("bug")
+        patch = seeded_bug(bug)
+        patch.__enter__()
+        restored = [False]
+
+        def restore() -> None:
+            if not restored[0]:
+                restored[0] = True
+                patch.__exit__(None, None, None)
+
+        try:
+            kernel = _bare_kernel(2, self.params["seed"])
+            results: Dict[str, Any] = {}
+            self._spawn(kernel, results)
+        except BaseException:
+            restore()
+            raise
+
+        def execute() -> None:
+            kernel.run(until=100.0)
+
+        def check(_injections: Tuple[str, ...]) -> List[str]:
+            return self._verdict(results)
+
+        return ScenarioRun(kernel, execute, check, cleanup=restore)
+
+
+@register
+class UnparkCollision(_RegressionScenario):
+    """Two tasks of one process park receives with the same token number;
+    a timeout on one must not evict the other's waiter.
+
+    Default schedule: at t=5 the delivery to task B (queued at t=4) fires
+    before task A's receive timeout (queued at t=4.5) — benign even on
+    the buggy kernel.  The explorer's swap fires the timeout first: the
+    buggy unpark evicts B's waiter by token, the delivery then rots in
+    the inbox, and B never completes.
+    """
+
+    name = "regression-unpark-collision"
+
+    def _spawn(self, kernel: Kernel, results: Dict[str, Any]) -> None:
+        from repro.sim.environment import ProcessEnv
+        from repro.types import ProcessId
+
+        env0 = ProcessEnv(kernel, ProcessId(0))
+        env1 = ProcessEnv(kernel, ProcessId(1))
+
+        def receiver_b():
+            # parks immediately: suspension token 1 of task B
+            envlp = yield from env0.recv(topic="b")
+            results["b"] = None if envlp is None else envlp.payload
+
+        def late_a():
+            # parks at t=4.5 with *its own* token 1; times out at t=5
+            envlp = yield from env0.recv(topic="a", timeout=0.5)
+            results["a"] = None if envlp is None else envlp.payload
+
+        def coordinator():
+            yield env0.sleep(4.5)
+            yield env0.spawn("late-a", late_a(), daemon=False)
+
+        def sender():
+            yield env1.sleep(4.0)
+            yield env1.send(0, "for-b", topic="b")  # delivers at t=5
+
+        kernel.spawn(0, "receiver-b", receiver_b())
+        kernel.spawn(0, "coordinator", coordinator())
+        kernel.spawn(1, "sender", sender())
+
+    def _verdict(self, results: Dict[str, Any]) -> List[str]:
+        errors: List[str] = []
+        if "b" not in results:
+            errors.append(
+                "lost wakeup: receiver-b never resumed — its waiter was "
+                "evicted and the delivery rotted in the inbox"
+            )
+        elif results["b"] != "for-b":
+            errors.append(f"receiver-b got {results['b']!r}, expected 'for-b'")
+        if "a" not in results:
+            errors.append("late-a never resumed (timeout lost)")
+        return errors
+
+
+@register
+class StaleWake(_RegressionScenario):
+    """A gate-wait timeout's timer goes stale when the gate opens; the
+    stale timer must not resume the task's *next* wait.
+
+    Default schedule: at t=3 the delivery of "go" (queued at t=2) fires
+    before the stale gate timer (queued at t=2.5) — benign on both
+    kernels (the winner resumes the receive; the stale timer then finds
+    the task done/unsuspended).  The explorer's swap fires the stale
+    timer first: the buggy token check resumes the parked receive with
+    the timer's ``False`` payload instead of the message.
+    """
+
+    name = "regression-stale-wake"
+
+    def _spawn(self, kernel: Kernel, results: Dict[str, Any]) -> None:
+        from repro.sim.environment import ProcessEnv
+        from repro.types import ProcessId
+
+        env0 = ProcessEnv(kernel, ProcessId(0))
+        env1 = ProcessEnv(kernel, ProcessId(1))
+        gate = env0.new_gate("g")
+
+        def waiter():
+            yield env0.sleep(2.5)
+            # Arms a timeout timer for t=3.0.  The signaler opens the
+            # gate at the same instant, so the wake wins and the timer
+            # entry goes stale.
+            opened = yield env0.gate_wait(gate, timeout=0.5)
+            envlp = yield from env0.recv(topic="go")
+            # getattr, not .payload: the buggy kernel can resume this
+            # receive with the stale timer's False — exactly the
+            # corruption the verdict below must observe, not crash on
+            results["waiter"] = (opened, getattr(envlp, "payload", envlp))
+
+        def signaler():
+            yield env0.sleep(2.5)
+            env0.signal(gate)
+
+        def sender():
+            yield env1.sleep(2.0)
+            yield env1.send(0, "go", topic="go")  # delivers at t=3
+
+        kernel.spawn(0, "waiter", waiter())
+        kernel.spawn(0, "signaler", signaler())
+        kernel.spawn(1, "sender", sender())
+
+    def _verdict(self, results: Dict[str, Any]) -> List[str]:
+        got = results.get("waiter")
+        if got is None:
+            return ["waiter never completed (lost delivery or stranded park)"]
+        opened, payload = got
+        errors: List[str] = []
+        if opened is not True:
+            errors.append(f"gate wait returned {opened!r}, expected True")
+        if payload != "go":
+            errors.append(
+                f"recv returned {payload!r}, expected 'go' — a stale timer "
+                f"resumed the wrong wait"
+            )
+        return errors

@@ -1,0 +1,164 @@
+"""A scheduler that follows an explicit plan and records every choice.
+
+:class:`ControlledScheduler` is the explorer's instrument: at each step it
+materialises the list of *choices* (frontier entries plus any injection
+specs still within budget), records them, and picks whatever the plan
+dictates — defaulting to frontier index 0, i.e. the kernel's native order.
+A plan therefore only names the steps where a run *diverges* from the
+default schedule, which keeps counterexample traces small and readable.
+
+Choice identity is stable across runs that share a prefix: frontier
+entries are keyed by their queue sequence number (see
+:mod:`repro.sim.event_queue`), injections by name.  That stability is what
+lets sleep sets and serialized traces refer to "the entry the other run
+fired first".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.deps import GLOBAL, footprint
+from repro.check.inject import InjectionSpec
+from repro.errors import ReproError
+from repro.sim.schedule import FrontierEntry, Injection, Scheduler
+
+
+class TraceDivergence(ReproError):
+    """A replayed plan named a choice the run did not offer.
+
+    Raised when the scenario being replayed does not match the trace —
+    wrong seed, wrong code version, or a trace edited by hand.
+    """
+
+
+class Choice:
+    """One option the scheduler saw at a step.
+
+    ``encoding`` is the plan/trace form — ``("entry", index)`` or
+    ``("inject", name)``; ``key`` is the stable identity used by sleep
+    sets — ``("e", seq)`` or ``("i", name)``.
+    """
+
+    __slots__ = ("encoding", "key", "label", "fp")
+
+    def __init__(self, encoding, key, label, fp) -> None:
+        self.encoding = encoding
+        self.key = key
+        self.label = label
+        self.fp = fp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Choice({self.encoding!r}, {self.label})"
+
+
+class StepRecord:
+    """What the scheduler saw and did at one step of one run."""
+
+    __slots__ = ("step", "time", "choices", "chosen")
+
+    def __init__(self, step: int, time: float, choices: List[Choice], chosen: int) -> None:
+        self.step = step
+        self.time = time
+        self.choices = choices
+        self.chosen = chosen  # index into ``choices``
+
+    @property
+    def chosen_choice(self) -> Choice:
+        return self.choices[self.chosen]
+
+
+#: Plan type: step index -> ("entry", frontier_index) | ("inject", name).
+Plan = Dict[int, Tuple[str, Any]]
+
+
+class ControlledScheduler(Scheduler):
+    """Follow *plan*, record choice points, enforce injection budgets.
+
+    ``max_steps`` is the per-run livelock budget: exceeding it raises the
+    kernel's diagnostic :class:`~repro.errors.LivelockError` (queue-depth
+    snapshot, flight dump when observability is attached), which the
+    explorer reports as a liveness finding rather than spinning forever.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[Plan] = None,
+        specs: Sequence[InjectionSpec] = (),
+        group_budgets: Optional[Dict[str, int]] = None,
+        max_steps: Optional[int] = None,
+        record: bool = True,
+    ) -> None:
+        self.plan: Plan = dict(plan or {})
+        self.specs = tuple(specs)
+        self.group_budgets = dict(group_budgets or {})
+        self.max_steps = max_steps
+        self.record = record
+        self.step = 0
+        self.log: List[StepRecord] = []
+        self.injections_used: List[str] = []
+        self._used_names = set()
+        self._group_used: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _eligible(self, step: int) -> List[InjectionSpec]:
+        out = []
+        for spec in self.specs:
+            if spec.name in self._used_names:
+                continue
+            if spec.max_step is not None and step > spec.max_step:
+                continue
+            budget = self.group_budgets.get(spec.group)
+            if budget is not None and self._group_used.get(spec.group, 0) >= budget:
+                continue
+            out.append(spec)
+        return out
+
+    def _mark_used(self, spec: InjectionSpec) -> None:
+        self._used_names.add(spec.name)
+        self.injections_used.append(spec.name)
+        self._group_used[spec.group] = self._group_used.get(spec.group, 0) + 1
+
+    # ------------------------------------------------------------------
+    def pick(self, kernel, now: float, frontier: List[FrontierEntry]):
+        step = self.step
+        self.step += 1
+        if self.max_steps is not None and step >= self.max_steps:
+            kernel._raise_livelock(self.max_steps)
+        eligible = self._eligible(step)
+        choice = self.plan.get(step)
+        chosen_index = 0
+        if choice is not None:
+            what, operand = choice
+            if what == "entry":
+                if not 0 <= operand < len(frontier):
+                    raise TraceDivergence(
+                        f"step {step}: plan picks frontier entry {operand} "
+                        f"but only {len(frontier)} are ready"
+                    )
+                chosen_index = operand
+            elif what == "inject":
+                spec = next((s for s in eligible if s.name == operand), None)
+                if spec is None:
+                    raise TraceDivergence(
+                        f"step {step}: plan injects {operand!r} but it is "
+                        f"not eligible here"
+                    )
+                chosen_index = len(frontier) + eligible.index(spec)
+            else:  # pragma: no cover - defensive
+                raise TraceDivergence(f"step {step}: unknown plan verb {what!r}")
+        if self.record:
+            choices = [
+                Choice(("entry", i), ("e", fe.seq), fe.label(), footprint(fe))
+                for i, fe in enumerate(frontier)
+            ]
+            choices.extend(
+                Choice(("inject", s.name), ("i", s.name), f"inject:{s.name}", GLOBAL)
+                for s in eligible
+            )
+            self.log.append(StepRecord(step, now, choices, chosen_index))
+        if chosen_index < len(frontier):
+            return chosen_index
+        spec = eligible[chosen_index - len(frontier)]
+        self._mark_used(spec)
+        return Injection(spec.name, spec.events)

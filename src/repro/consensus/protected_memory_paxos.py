@@ -269,3 +269,43 @@ class ProtectedMemoryPaxos(ConsensusProtocol):
         node.first_attempt = False
         node.recovering = True
         return [("pmp-listener", node.listener()), ("pmp-proposer", node.proposer())]
+
+
+# ---------------------------------------------------------------------------
+# model-checking oracle hooks (see repro.check.scenarios)
+# ---------------------------------------------------------------------------
+def accepted_view(kernel) -> dict:
+    """Every accepted PMP slot currently stored across all memories.
+
+    Keyed ``(mid, register_key)``; probe slots (``acc_prop is None``) and
+    bottom placeholders are excluded.  Registers wiped by a memory
+    recovery simply disappear from the view — the oracle judges what the
+    surviving replicated state says.
+    """
+    view = {}
+    for mid, memory in enumerate(kernel.memories):
+        for key, slot in memory.registers.items():
+            if (
+                isinstance(slot, PmpSlot)
+                and slot.acc_prop is not None
+                and not is_bottom(slot.value)
+            ):
+                view[(mid, key)] = slot
+    return view
+
+
+def chosen_value(kernel):
+    """The value carried by the maximum accepted proposal, or ``None``.
+
+    PMP's chosen value is the one a takeover read adopts: the value of the
+    highest ``acc_prop`` across all slots.  Minority slots may hold stale
+    accepted values from lower, superseded proposals — those are *not*
+    chosen and may legitimately disagree.  A decision oracle therefore
+    checks the decided value against this maximum, never against every
+    accepted slot.
+    """
+    best = None
+    for slot in accepted_view(kernel).values():
+        if best is None or slot.acc_prop > best.acc_prop:
+            best = slot
+    return None if best is None else best.value

@@ -27,6 +27,20 @@ class DeadlockError(SimulationError):
     """The event queue drained while tasks were still waiting."""
 
 
+class LivelockError(SimulationError):
+    """A run exceeded its ``max_events`` budget without reaching its goal.
+
+    Raised by ``Kernel.run`` as a *diagnostic*: the message carries a
+    queue-depth snapshot (per-kind pending counts, parked tasks) and, when
+    an observability runtime is attached, the exception's ``flight_dump``
+    holds the flight recorder's open-span dump taken at trip time.
+    """
+
+    def __init__(self, message: str, flight_dump=None) -> None:
+        super().__init__(message)
+        self.flight_dump = flight_dump
+
+
 class OutstandingOpError(SimulationError):
     """A task issued a second outstanding operation on the same memory.
 

@@ -672,3 +672,38 @@ class ElasticKV(ShardedKV):
             epoch = record.detail["epoch"]
             moved[epoch] = moved.get(epoch, 0) + record.detail["keys"]
         return moved
+
+
+def region_fenced_errors(service, shard: int, old_leader: int) -> List[str]:
+    """Model-checking oracle: a deposed leader must be fenced out.
+
+    The paper's permission-fence check, as data rather than an assert: on
+    every live memory the old leader must lack write permission on the
+    shard's region, and an actual zombie write must NAK.  Returns error
+    strings, empty when the fence holds.  Crashed memories are skipped —
+    they answer nothing, fenced or not.
+    """
+    from repro.mem.operations import WriteOp
+    from repro.types import OpStatus, ProcessId
+
+    region = shard_region(shard)
+    errors: List[str] = []
+    pid = ProcessId(old_leader)
+    for mid, memory in enumerate(service.kernel.memories):
+        if memory.crashed:
+            continue
+        if memory.permission_of(region).can_write(pid):
+            errors.append(
+                f"mu{mid + 1}: deposed leader p{old_leader + 1} still holds "
+                f"write permission on {region}"
+            )
+            continue
+        result = memory.apply(
+            pid, WriteOp(region, (region, 10_000, old_leader), "zombie-write")
+        )
+        if result.status != OpStatus.NAK:
+            errors.append(
+                f"mu{mid + 1}: zombie write by deposed leader "
+                f"p{old_leader + 1} was {result.status.value}, expected nak"
+            )
+    return errors

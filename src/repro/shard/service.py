@@ -347,6 +347,36 @@ class ShardedKV:
         """The shard leader's current committed store."""
         return self.machines[(self.leader_of(shard), shard)].snapshot()
 
+    def replica_divergence(self) -> List[str]:
+        """Model-checking oracle: replicas must agree slot for slot.
+
+        For every shard, every pair of replicas must have applied the same
+        command with the same result at every log slot both have reached —
+        replicas may trail (shorter applied prefix) but never disagree.
+        Returns human-readable error strings, empty when consistent.
+        """
+        errors: List[str] = []
+        for shard in self.shards:
+            applied = {
+                pid: {
+                    slot: (command, result)
+                    for slot, command, result in self.machines[(pid, shard)].applied
+                }
+                for pid in self.active_replicas
+                if (pid, shard) in self.machines
+            }
+            pids = sorted(applied)
+            for i, pa in enumerate(pids):
+                for pb in pids[i + 1:]:
+                    for slot in applied[pa].keys() & applied[pb].keys():
+                        if applied[pa][slot] != applied[pb][slot]:
+                            errors.append(
+                                f"shard {shard} slot {slot}: p{pa + 1} applied "
+                                f"{applied[pa][slot]!r} but p{pb + 1} applied "
+                                f"{applied[pb][slot]!r}"
+                            )
+        return errors
+
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------

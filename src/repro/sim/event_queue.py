@@ -23,12 +23,22 @@ Ready entries carry no time: they are defined to run at ``Kernel.now``.
 
 Both lanes count into ``pushed``/``popped``/``len`` so queue statistics keep
 describing every scheduled event, whichever lane carried it.
+
+Both lanes also share one sequence counter: ready entries store it as a
+trailing fifth element ``(kind, a, b, c, seq)``.  The default run loop
+ignores it; the pluggable-scheduler path (see :mod:`repro.sim.schedule`
+and :mod:`repro.check`) uses it as a stable per-entry identity — two runs
+that execute the same prefix of events assign the same seq to the same
+entry, which is what lets a model checker name "the entry the other
+schedule ran first" across runs.  The *relative* order of seqs within each
+lane is exactly the insertion order either way, so sharing the counter
+does not perturb the default schedule.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Deque, List, Optional, Tuple
 
 # ---------------------------------------------------------------------------
@@ -92,18 +102,49 @@ class EventQueue:
     # ------------------------------------------------------------------
     def push_ready(self, kind: int, a: Any = None, b: Any = None, c: Any = None) -> None:
         """Enqueue event *kind* to run at the current instant, before the heap."""
-        self._ready.append((kind, a, b, c))
+        self._seq += 1
+        self._ready.append((kind, a, b, c, self._seq))
         self.pushed += 1
 
     def pop_ready(self) -> Tuple[int, Any, Any, Any]:
         """Remove and return the oldest ready ``(kind, a, b, c)``."""
         entry = self._ready.popleft()
         self.popped += 1
-        return entry
+        return entry[:4]
 
     @property
     def ready_count(self) -> int:
         return len(self._ready)
+
+    # ------------------------------------------------------------------
+    # frontier support (pluggable-scheduler path only — never on the
+    # default hot loop)
+    # ------------------------------------------------------------------
+    def ready_frontier(self) -> List[Tuple[int, Any, Any, Any, int]]:
+        """The ready lane's entries ``(kind, a, b, c, seq)`` in FIFO order."""
+        return list(self._ready)
+
+    def heap_frontier(self, time: float) -> List[Entry]:
+        """All heap entries scheduled exactly at *time*, in seq order.
+
+        A linear scan: the scheduled path trades per-step cost for the
+        ability to fire any same-instant entry, and model-checked
+        configurations are small by design.
+        """
+        return sorted(entry for entry in self._heap if entry[0] == time)
+
+    def take_ready(self, index: int) -> Tuple[int, Any, Any, Any, int]:
+        """Remove and return the ready entry at *index* (scheduled mode)."""
+        entry = self._ready[index]
+        del self._ready[index]
+        return entry
+
+    def remove_heap_entry(self, entry: Entry) -> None:
+        """Remove one specific heap entry (scheduled mode); restores the
+        heap invariant afterwards.  Seq uniqueness guarantees the tuple
+        comparison never reaches the (possibly unorderable) payloads."""
+        self._heap.remove(entry)
+        heapify(self._heap)
 
     # ------------------------------------------------------------------
     # introspection

@@ -66,7 +66,7 @@ from heapq import heappop
 from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
 from repro.crypto.signatures import SignatureAuthority
-from repro.errors import OutstandingOpError, SimulationError
+from repro.errors import LivelockError, OutstandingOpError, SimulationError
 from repro.mem.layout import MemoryLayout
 from repro.mem.memory import Memory
 from repro.metrics.ledger import MetricsLedger
@@ -202,6 +202,10 @@ class Kernel:
         #: attached observability runtime (repro.obs), or None — the
         #: zero-cost default every hook below checks first
         self.obs: Optional[Any] = None
+        #: pluggable scheduler (see repro.sim.schedule / repro.check), or
+        #: None — the default, which keeps run() on the closed hot loop.
+        #: Costs one ``is None`` check per run() call, never per event.
+        self.scheduler: Optional[Any] = None
         self.metrics = MetricsLedger(strict_safety=config.strict_safety)
         self.network = Network(config.n_processes)
         self.layout = layout or MemoryLayout([])
@@ -388,7 +392,13 @@ class Kernel:
         call), with the rare kinds falling through to ``_ev_handlers``.
         The queue's two lanes are drained ready-first through local
         bindings; counters are maintained inline.
+
+        With a pluggable scheduler attached the call is delegated to the
+        open-frontier loop instead — same semantics for the default pick,
+        but every same-instant entry becomes a choice point.
         """
+        if self.scheduler is not None:
+            return self._run_scheduled(until, max_events, stop_when)
         processed = 0
         queue = self.queue
         ready = queue._ready
@@ -406,7 +416,7 @@ class Kernel:
                     # just ran resume now, before anything more off the heap.
                     if until is not None and self.now > until:
                         break
-                    kind, a, b, c = pop_ready()
+                    kind, a, b, c, _seq = pop_ready()
                 else:
                     time = heap[0][0]
                     if until is not None and time > until:
@@ -439,12 +449,112 @@ class Kernel:
                     handlers[kind](a, b, c)
                 processed += 1
                 if max_events is not None and processed > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
+                    self._raise_livelock(max_events)
         finally:
             # Counter maintained in bulk: one attribute RMW per run() call
             # instead of one per event.
             queue.popped += processed
         return self.now
+
+    def _run_scheduled(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> float:
+        """The open-frontier run loop behind ``kernel.scheduler``.
+
+        Each step materialises the frontier (ready lane in FIFO order,
+        then heap entries at the current instant in seq order) and asks
+        the scheduler which entry fires — or which fault injection to
+        execute instead.  Firing ``frontier[0]`` at every step reproduces
+        the default loop's schedule bit-for-bit; any other pick is a legal
+        same-instant reordering the default loop simply never chooses.
+        Dispatch goes through ``_ev_handlers`` (not the inlined chain), so
+        instrumented/patched handlers take effect under exploration.
+        """
+        from repro.sim.schedule import build_frontier
+
+        queue = self.queue
+        ready = queue._ready
+        heap = queue._heap
+        scheduler = self.scheduler
+        handlers = self._ev_handlers
+        processed = 0
+        try:
+            while ready or heap:
+                if stop_when is not None and stop_when():
+                    break
+                if ready:
+                    if until is not None and self.now > until:
+                        break
+                else:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        break
+                    if time < self.now:
+                        raise SimulationError(
+                            f"time went backwards: {time} < {self.now}"
+                        )
+                    self.now = time
+                frontier = build_frontier(queue, self.now)
+                choice = scheduler.pick(self, self.now, frontier)
+                if choice.__class__ is int:
+                    entry = frontier[choice]
+                    if entry.lane == "ready":
+                        queue.take_ready(entry.index)
+                    else:
+                        queue.remove_heap_entry(entry.raw)
+                    handlers[entry.kind](entry.a, entry.b, entry.c)
+                    processed += 1
+                    if max_events is not None and processed > max_events:
+                        self._raise_livelock(max_events)
+                else:
+                    # An Injection: fire its fault events at this instant
+                    # (delayed ones are armed as ordinary EV_FAULT entries).
+                    for delay, event in choice.events:
+                        if delay <= 0.0:
+                            self.failures.execute(event)
+                        else:
+                            self.schedule_fault(self.now + delay, event)
+        finally:
+            queue.popped += processed
+        return self.now
+
+    def _raise_livelock(self, max_events: int) -> None:
+        """Diagnose and raise a :class:`LivelockError`: queue-depth
+        snapshot by event kind, parked-task census, and (when obs is
+        attached) a flight-recorder dump of every open span."""
+        from collections import Counter
+
+        queue = self.queue
+        kinds: Counter = Counter()
+        for entry in queue._heap:
+            kinds[entry[2]] += 1
+        for entry in queue._ready:
+            kinds[entry[0]] += 1
+        from repro.sim.schedule import EV_NAMES
+
+        pending = ", ".join(
+            f"{EV_NAMES[kind]}={count}"
+            for kind, count in sorted(kinds.items(), key=lambda kv: -kv[1])
+        )
+        parked = sum(
+            1 for t in self.tasks if not t.done and t.pending_token is not None
+        )
+        flight_dump = None
+        detail = ""
+        if self.obs is not None:
+            flight_dump = self.obs.flight.trip(
+                f"livelock: max_events={max_events}", self.now
+            )
+            detail = f"; flight dump captured ({len(flight_dump['open'])} open spans)"
+        raise LivelockError(
+            f"exceeded max_events={max_events} at t={self.now:g}: "
+            f"{len(queue._heap)} heap + {len(queue._ready)} ready entries "
+            f"pending ({pending or 'none'}), {parked} tasks parked{detail}",
+            flight_dump=flight_dump,
+        )
 
     def run_until_decided(
         self,

@@ -49,3 +49,23 @@ def kernel():
 @pytest.fixture
 def env(kernel):
     return env_of(kernel, 0)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed-sweep",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "rerun the trace-hash determinism checks of "
+            "test_fault_properties.py / test_read_properties.py across N "
+            "seeds in one process (0 = off; the sweep tests skip)"
+        ),
+    )
+
+
+@pytest.fixture
+def seed_sweep(request) -> int:
+    """How many seeds the determinism sweep should cover (0 = disabled)."""
+    return int(request.config.getoption("--seed-sweep"))

@@ -24,10 +24,12 @@ N_CLIENTS = 12
 OPS_PER_CLIENT = 4
 
 
-def _run_mixed(seed: int):
+def _run_mixed(seed: int, scheduler=None):
     """One sharded run: 3 PMP shards + 1 Byzantine (Fast & Robust) shard,
     with a memory crash injected mid-run.  Tracing on, so the returned
-    service carries the complete event log."""
+    service carries the complete event log.  *scheduler* optionally runs
+    the whole workload through the pluggable-scheduler path (the parity
+    tests in test_schedule.py assert it changes nothing)."""
     service = ShardedKV(
         ShardConfig(
             n_shards=4,
@@ -39,6 +41,7 @@ def _run_mixed(seed: int):
             deadline=100_000.0,
         )
     )
+    service.kernel.scheduler = scheduler
     # Crash one of the three memories mid-run: quorums of 2 still carry
     # every shard, and the crash lands in the schedule deterministically.
     service.kernel.call_at(40.0, lambda: service.kernel.crash_memory(MemoryId(2)))

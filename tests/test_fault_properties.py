@@ -12,6 +12,7 @@ Two families:
 
 import hashlib
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import (
@@ -168,3 +169,16 @@ class TestChaosDeterminism:
     def test_different_seeds_diverge(self):
         """The hash is sensitive enough to see the seed at all."""
         assert _run_hash(11) != _run_hash(12)
+
+    def test_seed_sweep(self, seed_sweep):
+        """Replay determinism across many seeds (off by default).
+
+        Enable with ``pytest --seed-sweep N``: reruns the chaos-cluster
+        trace-hash check for seeds ``0..N-1`` in one process — the cheap
+        way to widen determinism coverage before a release or in the
+        nightly tier-2 run.
+        """
+        if not seed_sweep:
+            pytest.skip("enable with --seed-sweep N")
+        for seed in range(seed_sweep):
+            assert _run_hash(seed) == _run_hash(seed), f"seed {seed} diverged"

@@ -18,6 +18,9 @@ before the read began.  The in-run session tripwire
 (``ledger.stale_reads``) must stay empty too.
 """
 
+import hashlib
+
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import FaultScript
@@ -161,3 +164,50 @@ def test_quorum_reads_never_return_older_than_a_completed_write(
     assert report.ok, report.summary()
     assert service.kernel.metrics.stale_reads == []
     _check_reads_not_stale(service, writers, readers)
+
+
+def _read_run_hash(seed: int) -> str:
+    """One fixed quorum-read workload, digested: every read a reader saw,
+    every per-key commit order, and the kernel's event counters."""
+    service = ShardedKV(
+        ShardConfig(
+            n_shards=2, n_processes=3, batch_max=4, seed=seed,
+            read_mode=READ_QUORUM, retry_timeout=25.0, deadline=200_000.0,
+        )
+    )
+    writers = [_Writer(1, 8, pid=0), _Writer(2, 8, pid=1)]
+    readers = [_Reader(11, 8, pid=1), _Reader(12, 8, pid=2)]
+    report = service.run_workload(writers + readers)
+    assert report.ok, report.summary()
+    _check_reads_not_stale(service, writers, readers)
+    digest = hashlib.sha256()
+    for reader in readers:
+        for key, started, value in reader.reads:
+            digest.update(f"R c{reader.client_id} {key} @{started} {value!r}\n".encode())
+    for key in _KEYS:
+        digest.update(f"C {key} {_commit_order(service, key)}\n".encode())
+    kernel = service.kernel
+    digest.update(
+        f"pushed={kernel.queue.pushed} popped={kernel.queue.popped} "
+        f"now={kernel.now}".encode()
+    )
+    return digest.hexdigest()
+
+
+class TestReadDeterminism:
+    def test_quorum_read_run_replays_identically(self):
+        assert _read_run_hash(7) == _read_run_hash(7)
+
+    def test_seed_sweep(self, seed_sweep):
+        """Replay determinism across many seeds (off by default).
+
+        Enable with ``pytest --seed-sweep N``: reruns the quorum-read
+        trace-hash check for seeds ``0..N-1`` in one process, mirroring
+        the chaos sweep in test_fault_properties.py.
+        """
+        if not seed_sweep:
+            pytest.skip("enable with --seed-sweep N")
+        for seed in range(seed_sweep):
+            assert _read_run_hash(seed) == _read_run_hash(seed), (
+                f"seed {seed} diverged"
+            )
