@@ -31,12 +31,24 @@ def _measure():
     rows = []
 
     pmp_on = run_consensus(ProtectedMemoryPaxos(), 3, 3, deadline=10_000)
+    # pin batch_chains off so the restored prepare shows its classic
+    # three-round cost; doorbell batching fuses it into one round
     pmp_off = run_consensus(
+        ProtectedMemoryPaxos(
+            PmpConfig(skip_first_attempt=False, batch_chains=False)
+        ),
+        3, 3, deadline=10_000,
+    )
+    pmp_off_batched = run_consensus(
         ProtectedMemoryPaxos(PmpConfig(skip_first_attempt=False)), 3, 3,
         deadline=10_000,
     )
     rows.append(["PMP", "permission skip ON", f"{pmp_on.earliest_decision_delay:g}"])
     rows.append(["PMP", "permission skip OFF", f"{pmp_off.earliest_decision_delay:g}"])
+    rows.append(
+        ["PMP", "skip OFF + batched chains",
+         f"{pmp_off_batched.earliest_decision_delay:g}"]
+    )
 
     fr_on = run_consensus(FastRobust(), 3, 3, deadline=30_000)
     fr_off = run_consensus(
@@ -66,6 +78,7 @@ def _measure():
     checks = (
         pmp_on.earliest_decision_delay == 2.0
         and pmp_off.earliest_decision_delay >= 8.0
+        and pmp_off_batched.earliest_decision_delay == 4.0
         and fr_on.earliest_decision_delay == 2.0
         and fr_off.earliest_decision_delay > 2.0
         and ap_protected.earliest_decision_delay == 2.0

@@ -1,15 +1,22 @@
 """Machine-readable kernel performance runner.
 
-Measures the simulator's hot-path throughput on three workloads and emits
+Measures the simulator's hot-path throughput on five workloads and emits
 ``BENCH_kernel.json`` — the perf trajectory every PR answers to:
 
 * ``message_storm``   — pure kernel messaging: 4 processes ping-ponging
   20k messages (send → deliver → resume, no memory ops);
 * ``mem_op_storm``    — pure kernel memory path: 10k sequential register
   writes (invoke → arrive → apply → resolve → resume);
+* ``mem_op_batch_storm`` — the doorbell-batched A/B: the same 10k writes
+  posted as 8-WR fused chains (one queue entry, one completion per
+  chain); each run times the unbatched variant back-to-back (interleaved
+  A/B) and the report carries both rates plus the speedup;
 * ``e11_sharded_kv``  — the E11 sharded-KV service workload (4 shards,
   batch 8, Zipfian closed-loop YCSB-A clients, 3 replicas, 3 memories):
-  the full stack the kernel exists to carry.
+  the full stack the kernel exists to carry;
+* ``e18_read_paths``  — the E18 read-plane workload: 95%-read Zipfian
+  served by one-sided quorum reads (2 shards), tracking the whole read
+  plane from watermark publication to floor-filtered snapshots.
 
 Two throughput figures are reported per workload:
 
@@ -121,6 +128,79 @@ def _run_mem_op_storm(n_ops: int = 10_000):
     }
 
 
+def _run_mem_op_batch_storm(n_ops: int = 10_000, chain: int = 8):
+    """Doorbell-batched A/B: the mem_op_storm writes posted as fused
+    ``chain``-WR chains versus one-at-a-time, timed back-to-back in the
+    same call so both variants see the same machine noise.  The primary
+    wall (and sim_events_per_sec) is the *batched* variant; the unbatched
+    control rides along in ``stats["ab"]`` and surfaces in the report as
+    ``ops_per_sec_unbatched`` / ``batch_speedup``."""
+    from repro.mem.layout import MemoryLayout
+    from repro.mem.permissions import Permission
+    from repro.mem.regions import RegionSpec
+    from repro.sim.environment import ProcessEnv
+    from repro.sim.kernel import Kernel, SimConfig
+    from repro.types import ProcessId
+
+    def fresh():
+        kernel = Kernel(
+            SimConfig(n_processes=3, n_memories=3),
+            MemoryLayout([RegionSpec("r", ("x",), Permission.open(range(3)))]),
+        )
+        return kernel, ProcessEnv(kernel, ProcessId(0))
+
+    kernel, env = fresh()
+
+    def batched_writer():
+        for start in range(0, n_ops, chain):
+            yield from env.write_batch(
+                0, [("r", ("x", "k"), i) for i in range(start, start + chain)]
+            )
+
+    kernel.spawn(0, "writer", batched_writer())
+    start = time.perf_counter()
+    kernel.run(until=10.0**9)
+    wall = time.perf_counter() - start
+    ops = kernel.metrics.total_mem_ops()  # the ledger counts sub-ops
+    assert ops == n_ops, ops
+
+    kernel_b, env_b = fresh()
+
+    def unbatched_writer():
+        for i in range(n_ops):
+            yield from env_b.write(0, "r", ("x", "k"), i)
+
+    kernel_b.spawn(0, "writer", unbatched_writer())
+    start = time.perf_counter()
+    kernel_b.run(until=10.0**9)
+    unbatched_wall = time.perf_counter() - start
+    assert kernel_b.metrics.total_mem_ops() == n_ops
+
+    return wall, {
+        "events": kernel.queue.popped,
+        "sim_events": 2 * ops,  # same simulated work as the control
+        "commits": 0,
+        "ab": {"ops": n_ops, "chain": chain, "unbatched_wall_s": unbatched_wall},
+    }
+
+
+def _service_stats(service, report) -> dict:
+    """Uniform service-workload stats, derived from the ledger and the
+    workload report rather than per-experiment ad-hoc fields: ``commits``
+    is the consensus-committed command count (``shard_commits``, whatever
+    mix of client writes, consensus-routed reads, and migration puts the
+    workload committed) and ``reads`` is every completed client read,
+    whichever path (consensus, lease-local, quorum) served it."""
+    kernel = service.kernel
+    return {
+        "events": kernel.queue.popped,
+        "sim_events": kernel.metrics.total_messages()
+        + 2 * kernel.metrics.total_mem_ops(),
+        "commits": sum(kernel.metrics.shard_commits.values()),
+        "reads": report.completed_reads,
+    }
+
+
 def _run_e11_sharded(n_clients: int = 96, ops_per_client: int = 50, seed: int = 7):
     from repro.shard import ClosedLoopClient, ShardConfig, ShardedKV, YCSB_A, ZipfianKeys
 
@@ -138,13 +218,7 @@ def _run_e11_sharded(n_clients: int = 96, ops_per_client: int = 50, seed: int = 
     wall = time.perf_counter() - start
     expected = n_clients * ops_per_client
     assert report.completed_requests == expected, report.completed_requests
-    kernel = service.kernel
-    return wall, {
-        "events": kernel.queue.popped,
-        "sim_events": kernel.metrics.total_messages()
-        + 2 * kernel.metrics.total_mem_ops(),
-        "commits": report.completed_requests,
-    }
+    return wall, _service_stats(service, report)
 
 
 def _run_e18_read_paths(n_clients: int = 96, ops_per_client: int = 25, seed: int = 17):
@@ -177,22 +251,14 @@ def _run_e18_read_paths(n_clients: int = 96, ops_per_client: int = 25, seed: int
     wall = time.perf_counter() - start
     expected = n_clients * ops_per_client
     assert report.completed_requests == expected, report.completed_requests
-    kernel = service.kernel
-    assert kernel.metrics.staleness_violations == 0
-    return wall, {
-        "events": kernel.queue.popped,
-        "sim_events": kernel.metrics.total_messages()
-        + 2 * kernel.metrics.total_mem_ops(),
-        # only the writes commit through consensus here; the reads bypass
-        # it by design and are reported separately as reads_per_sec
-        "commits": report.completed_writes,
-        "reads": report.completed_reads,
-    }
+    assert service.kernel.metrics.staleness_violations == 0
+    return wall, _service_stats(service, report)
 
 
 WORKLOADS = {
     "message_storm": _run_message_storm,
     "mem_op_storm": _run_mem_op_storm,
+    "mem_op_batch_storm": _run_mem_op_batch_storm,
     "e11_sharded_kv": _run_e11_sharded,
     "e18_read_paths": _run_e18_read_paths,
 }
@@ -206,10 +272,13 @@ def measure(runs: int = 5) -> dict:
     experiments = {}
     for name, fn in WORKLOADS.items():
         walls = []
+        ab_walls = []
         stats = None
         for _ in range(runs):
             wall, stats = fn()
             walls.append(wall)
+            if "ab" in stats:
+                ab_walls.append(stats["ab"]["unbatched_wall_s"])
         walls.sort()
         best = walls[0]
         p50 = statistics.median(walls)
@@ -230,32 +299,71 @@ def measure(runs: int = 5) -> dict:
             if stats.get("reads")
             else None,
         }
+        if ab_walls:
+            # the A/B control: best-of walls for both variants, so the
+            # speedup compares noise floors rather than single samples
+            ab = stats["ab"]
+            ab_best = min(ab_walls)
+            experiments[name].update(
+                {
+                    "chain": ab["chain"],
+                    "ops_per_sec": round(ab["ops"] / best, 1),
+                    "ops_per_sec_unbatched": round(ab["ops"] / ab_best, 1),
+                    "batch_speedup": round(ab_best / best, 2),
+                }
+            )
         print(
-            f"  {name:<16} best={best:.4f}s p50={p50:.4f}s "
+            f"  {name:<18} best={best:.4f}s p50={p50:.4f}s "
             f"sim-ev/s={experiments[name]['sim_events_per_sec']:>12,.0f} "
             f"ev/s={experiments[name]['events_per_sec']:>12,.0f}"
         )
+        if ab_walls:
+            entry = experiments[name]
+            print(
+                f"  {'':<18} batched {entry['ops_per_sec']:,.0f} ops/s vs "
+                f"unbatched {entry['ops_per_sec_unbatched']:,.0f} ops/s "
+                f"({entry['batch_speedup']:.2f}x, chain={entry['chain']})"
+            )
     return experiments
 
 
-def check(current: dict, baseline: dict, tolerance: float) -> list:
+def check(current: dict, baseline: dict, tolerance: float):
     """Regressions: experiments whose sim_events_per_sec dropped more than
-    *tolerance* versus the baseline.  Returns failure strings."""
+    *tolerance* versus the baseline.  Returns ``(failures, warnings)``.
+
+    Schema-tolerant by design: a baseline from before an experiment (or a
+    field) existed *warns* instead of KeyError-ing, so adding a workload
+    never forces a same-commit baseline refresh — only a dropped or slowed
+    experiment fails the check."""
     failures = []
-    for name, base in baseline.get("experiments", {}).items():
+    warnings = []
+    base_experiments = baseline.get("experiments", {})
+    for name in current:
+        if name not in base_experiments:
+            warnings.append(
+                f"{name}: not in baseline (new experiment?) — not checked; "
+                f"refresh the baseline to start gating it"
+            )
+    for name, base in base_experiments.items():
         now = current.get(name)
         if now is None:
             failures.append(f"{name}: missing from current measurement")
             continue
-        floor = base["sim_events_per_sec"] * (1.0 - tolerance)
+        base_rate = base.get("sim_events_per_sec")
+        if base_rate is None:
+            warnings.append(
+                f"{name}: baseline lacks sim_events_per_sec — not checked"
+            )
+            continue
+        floor = base_rate * (1.0 - tolerance)
         if now["sim_events_per_sec"] < floor:
             failures.append(
                 f"{name}: sim_events_per_sec {now['sim_events_per_sec']:,.0f} "
                 f"< floor {floor:,.0f} "
-                f"(baseline {base['sim_events_per_sec']:,.0f}, "
+                f"(baseline {base_rate:,.0f}, "
                 f"tolerance {tolerance:.0%})"
             )
-    return failures
+    return failures, warnings
 
 
 def main(argv=None) -> int:
@@ -308,7 +416,9 @@ def main(argv=None) -> int:
         if baseline is None:
             print(f"no baseline at {args.baseline}; nothing to check against")
             return 0
-        failures = check(experiments, baseline, args.tolerance)
+        failures, warnings = check(experiments, baseline, args.tolerance)
+        for warning in warnings:
+            print(f"  warning: {warning}")
         if failures:
             print("PERF REGRESSION:")
             for failure in failures:

@@ -16,12 +16,14 @@ entry kind       footprint
 resume / wake /  the target task's **process** — a resumed task may
 recv_timeout /   consume from its process inbox, signal gates, send,
 resolve /        or issue ops, so two same-process resumptions never
-op_resolve       commute (conservative; per-task would over-prune)
+op_resolve /     commute (conservative; per-task would over-prune)
+fan_resolve
 deliver          the destination **process** (inbox append / waiter
                  wake)
 arrive /         the target **(memory, region)** — application order
-op_arrive        at one region is visible to reads; distinct memories
-                 or regions commute
+op_arrive /      at one region is visible to reads; distinct memories
+fan_arrive       or regions commute.  A fused chain contributes one key
+                 per region it touches (the chain's conservative union)
 call / fault /   **global** — failure events and ad-hoc callables may
 injections       touch anything
 ===============  =====================================================
@@ -48,6 +50,8 @@ from typing import Tuple
 from repro.sim.event_queue import (
     EV_ARRIVE,
     EV_DELIVER,
+    EV_FAN_ARRIVE,
+    EV_FAN_RESOLVE,
     EV_OP_ARRIVE,
     EV_OP_RESOLVE,
     EV_RECV_TIMEOUT,
@@ -60,8 +64,21 @@ from repro.sim.event_queue import (
 GLOBAL: Tuple = (("*",),)
 
 _TASK_KINDS = frozenset(
-    (EV_RESUME, EV_WAKE, EV_RECV_TIMEOUT, EV_RESOLVE, EV_OP_RESOLVE)
+    (EV_RESUME, EV_WAKE, EV_RECV_TIMEOUT, EV_RESOLVE, EV_OP_RESOLVE,
+     EV_FAN_RESOLVE)
 )
+
+
+def _mem_keys(mid, op) -> Tuple:
+    """Memory-arrival footprint: one ``("mem", mid, region)`` key per
+    region the op may touch.  A fused chain (BatchOp) carries its
+    precomputed distinct-region tuple — the conservative union of the
+    whole chain's footprint, since the chain applies atomically."""
+    regions = getattr(op, "regions", None)
+    if regions is not None:
+        m = int(mid)
+        return tuple(("mem", m, region) for region in regions)
+    return (("mem", int(mid), getattr(op, "region", None)),)
 
 
 def footprint(entry) -> Tuple:
@@ -80,10 +97,13 @@ def footprint(entry) -> Tuple:
             return (("proc", int(entry.a.dst)),)
         if kind == EV_ARRIVE:
             future = entry.b
-            return (("mem", int(future.mid), getattr(future.op, "region", None)),)
+            return _mem_keys(future.mid, future.op)
         if kind == EV_OP_ARRIVE:
             mid, op = entry.c
-            return (("mem", int(mid), getattr(op, "region", None)),)
+            return _mem_keys(mid, op)
+        if kind == EV_FAN_ARRIVE:
+            _index, mid, op = entry.c
+            return _mem_keys(mid, op)
     except Exception:
         return GLOBAL
     return GLOBAL  # EV_CALL, EV_FAULT, anything unrecognised

@@ -93,10 +93,11 @@ class PmpSingle(Scenario):
         revokes: int = 1,
         with_recovery: bool = False,
         obs: bool = False,
+        batch_chains: bool = True,
     ) -> None:
         super().__init__(
             seed=seed, deadline=deadline, crashes=crashes, revokes=revokes,
-            with_recovery=with_recovery, obs=obs,
+            with_recovery=with_recovery, obs=obs, batch_chains=batch_chains,
         )
         from repro.consensus.protected_memory_paxos import REGION
 
@@ -115,6 +116,7 @@ class PmpSingle(Scenario):
     def build(self) -> ScenarioRun:
         from repro.consensus.omega import crash_aware_omega
         from repro.consensus.protected_memory_paxos import (
+            PmpConfig,
             ProtectedMemoryPaxos,
             chosen_value,
         )
@@ -122,7 +124,7 @@ class PmpSingle(Scenario):
 
         p = self.params
         cluster = Cluster(
-            ProtectedMemoryPaxos(),
+            ProtectedMemoryPaxos(PmpConfig(batch_chains=p["batch_chains"])),
             ClusterConfig(
                 n_processes=3,
                 n_memories=3,

@@ -21,6 +21,7 @@ from repro.consensus.omega import crash_aware_omega, leader_schedule, stable_lea
 from repro.consensus.probes import (
     probe_write_grant,
     publish_watermark,
+    read_quorum_chain,
     read_quorum_watermarks,
     watermark_key,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "stable_leader",
     "probe_write_grant",
     "publish_watermark",
+    "read_quorum_chain",
     "read_quorum_watermarks",
     "watermark_key",
 ]

@@ -26,16 +26,25 @@ Protected Memory Paxos, Aligned Paxos and the replicated-log layer:
 
 All three are plain generators over :class:`~repro.sim.environment.
 ProcessEnv` — each costs one two-delay memory round, issued to all
-memories in parallel.
+memories as a single-completion fan-out
+(:class:`~repro.sim.effects.OpFanoutEffect`): the kernel counts ACKs and
+NAKs in one shared state and wakes the caller exactly once when the
+verdict is in, instead of re-registering a waiter closure per response.
+
+:func:`read_quorum_chain` is the doorbell-batched read round built from
+the same pieces: per memory, ONE fused chain carrying the watermark
+snapshot and the floor-filtered entry snapshot — the quorum read's two
+rounds collapsed into one (see ``ReplicatedLog._quorum_read_inner`` for
+the adoption rule that makes this safe).
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from repro.mem.operations import ProbeOp, SnapshotOp, WriteOp
+from repro.mem.operations import BatchOp, ProbeOp, ReadSnapshotOp, SnapshotOp, WriteOp
 from repro.sim.environment import ProcessEnv
-from repro.types import RegionId
+from repro.types import RegionId, RegisterKey
 
 #: name component of per-writer watermark registers: ``(region, WM, pid)``
 WM = "wm"
@@ -46,41 +55,23 @@ def watermark_key(rx_region: RegionId, pid: int) -> tuple:
     return (rx_region, WM, int(pid))
 
 
-def _tally(futures) -> Tuple[int, int]:
-    acked = naked = 0
-    for future in futures:
-        if future.done:
-            if future.ok:
-                acked += 1
-            else:
-                naked += 1
-    return acked, naked
-
-
-def _await_verdict(
-    env: ProcessEnv, futures, majority: int, timeout: Optional[float]
+def _verdict_fanout(
+    env: ProcessEnv, make_op, timeout: Optional[float]
 ) -> Generator:
-    """Park until *majority* ACKs (True), too many NAKs (False), or the
-    timeout lapses (False).  NAKs short-circuit: once more than
-    ``m - majority`` memories refused, a majority of ACKs is impossible."""
-    deadline = None if timeout is None else env.now + timeout
-    max_naks = env.n_memories - majority
-    while True:
-        acked, naked = _tally(futures)
-        if acked >= majority:
-            return True
-        if naked > max_naks:
-            return False
-        remaining = None
-        if deadline is not None:
-            remaining = deadline - env.now
-            if remaining <= 0:
-                return False
-        yield env.wait(futures, count=min(len(futures), acked + naked + 1),
-                       timeout=remaining)
-        if deadline is not None and env.now >= deadline:
-            acked, _ = _tally(futures)
-            return acked >= majority
+    """Fan *make_op(mid)* out to every memory with ACK-counting single
+    completion: the task wakes once — at a majority of ACKs, at more than
+    ``m - majority`` NAKs (a majority of ACKs became impossible), or at
+    the timeout.  Returns ``(state, majority)``; the verdict is
+    ``state.acked >= majority``."""
+    majority = env.majority_of_memories()
+    state = yield env.fanout_to_all(
+        make_op,
+        need=majority,
+        count_acks=True,
+        spare_naks=env.n_memories - majority,
+        timeout=timeout,
+    )
+    return state, majority
 
 
 def probe_write_grant(
@@ -89,11 +80,8 @@ def probe_write_grant(
     """True iff this process holds the exclusive write grant on *region*
     at a majority of memories right now (the one-sided fence check)."""
     op = ProbeOp(region, "write")
-    futures = yield from env.invoke_on_all(lambda mid: op)
-    held = yield from _await_verdict(
-        env, futures, env.majority_of_memories(), timeout
-    )
-    return held
+    state, majority = yield from _verdict_fanout(env, lambda mid: op, timeout)
+    return state.acked >= majority
 
 
 def read_quorum_watermarks(
@@ -109,24 +97,44 @@ def read_quorum_watermarks(
     majority cannot be assembled (memories down, or the region fenced
     away by a reconfiguration).
     """
-    majority = env.majority_of_memories()
     op = SnapshotOp(rx_region, (rx_region,))
-    futures = yield from env.invoke_on_all(lambda mid: op)
-    ok = yield from _await_verdict(env, futures, majority, timeout)
-    if not ok:
+    state, majority = yield from _verdict_fanout(env, lambda mid: op, timeout)
+    if state.acked < majority:
         return None, False
-    views = [f.value for f in futures if f.done and f.ok]
+    views = [r.value for r in state.results if r is not None and r.ok]
+    return max_confirmed_watermark(views, majority)
+
+
+def max_confirmed_watermark(views, majority: int) -> Tuple[int, bool]:
+    """Max watermark over *views* plus the confirmed-majority verdict.
+
+    Confirmation is **per register** (per writer): the max is confirmed
+    only when a *single* writer's register carries it at a majority of
+    the views.  Counting mixed registers would be unsound once writers
+    fuse the slot write and the watermark publish into one chain: two
+    different writers' failed chains can each leave the same watermark at
+    a minority, jointly covering a majority, without EITHER writer's slot
+    being committed anywhere.  A single writer's register at a majority,
+    by contrast, proves that writer completed (or advanced past) the slot
+    under the fence — the commit happened.
+    """
     watermark = -1
     for view in views:
         for value in view.values():
             if isinstance(value, int) and value > watermark:
                 watermark = value
-    confirmed = sum(
-        1
-        for view in views
-        if any(isinstance(v, int) and v >= watermark for v in view.values())
-    )
-    return watermark, confirmed >= majority
+    if watermark < 0:
+        return watermark, False
+    counts: Dict[Any, int] = {}
+    best = 0
+    for view in views:
+        for key, value in view.items():
+            if isinstance(value, int) and value >= watermark:
+                tally = counts.get(key, 0) + 1
+                counts[key] = tally
+                if tally > best:
+                    best = tally
+    return watermark, best >= majority
 
 
 def publish_watermark(
@@ -142,6 +150,36 @@ def publish_watermark(
     monotone (see ``ReplicatedLog._publish_watermark``).
     """
     op = WriteOp(rx_region, watermark_key(rx_region, int(env.pid)), int(slot))
-    futures = yield from env.invoke_on_all(lambda mid: op)
-    ok = yield from _await_verdict(env, futures, env.majority_of_memories(), timeout)
-    return ok
+    state, majority = yield from _verdict_fanout(env, lambda mid: op, timeout)
+    return state.acked >= majority
+
+
+def read_quorum_chain(
+    env: ProcessEnv,
+    rx_region: RegionId,
+    region: RegionId,
+    prefix: RegisterKey,
+    floor: Any = None,
+    timeout: Optional[float] = None,
+) -> Generator:
+    """The fused 1-round quorum read: per memory, one doorbell-batched
+    chain ``[watermark snapshot, floor-filtered entry snapshot]``.
+
+    Because a chain applies atomically at one memory, each returned pair
+    ``(wm_view, entry_view)`` is a *consistent cut* of that memory: every
+    slot its watermark covers is present in the same entry view (writers
+    install the slot and its watermark in one chain too — the same-chain
+    property).  Returns the list of per-memory pairs from the ACKing
+    majority, or ``None`` when a majority cannot be assembled.
+
+    Callers MUST gate on ``env.fifo_memory_ops`` and apply the per-view
+    qualification rule (adopt slot ``s`` only from a view whose own
+    watermark is ``>= s``) — see ``ReplicatedLog._quorum_read_inner``.
+    """
+    chain = BatchOp(
+        (SnapshotOp(rx_region, (rx_region,)), ReadSnapshotOp(region, prefix, floor))
+    )
+    state, majority = yield from _verdict_fanout(env, lambda mid: chain, timeout)
+    if state.acked < majority:
+        return None
+    return [r.value for r in state.results if r is not None and r.ok]

@@ -26,6 +26,7 @@ from repro.consensus.chains import ChainRunner
 from repro.consensus.messages import Decision
 from repro.consensus.base import ConsensusProtocol
 from repro.consensus.probes import probe_write_grant
+from repro.mem.operations import ChangePermissionOp, SnapshotOp, WriteOp
 from repro.mem.permissions import Permission, exclusive_grab_policy
 from repro.mem.regions import RegionSpec
 from repro.sim.environment import ProcessEnv
@@ -54,6 +55,12 @@ class PmpConfig:
     #: even the initial leader through the full prepare phase (the
     #: permission optimization is what this flag turns off)
     skip_first_attempt: bool = True
+    #: doorbell batching: run the prepare's grab + probe + snapshot as ONE
+    #: fused chain per memory (two delays instead of six) and the phase-2
+    #: fan-out with single-completion semantics.  Pure mechanism change —
+    #: the protocol's reads/writes and their per-memory order are
+    #: identical; ``False`` restores the classic per-op paths exactly.
+    batch_chains: bool = True
 
 
 @dataclass
@@ -161,23 +168,43 @@ class PmpNode:
         # Phase 2: one write per memory, in parallel.  Success on a clean
         # ACK majority both stores the value and certifies leadership
         # (Lemma D.3) — no confirming read needed.
-        chains = ChainRunner(env, "pmp2")
         slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
-
-        def phase2_chain(mid):
-            result = yield from env.write(mid, REGION, (REGION, int(env.pid)), slot_value)
-            return _ChainResult(write_ok=result.ok, view=None)
-
         obs = env.obs
         phase = obs and obs.phase("pmp.phase2", ballot=str(prop_nr))
-        try:
-            yield from chains.launch(phase2_chain)
-            yield from chains.wait_for(majority)
-        finally:
-            if phase:
-                phase.finish()
-        if any(not r.write_ok for r in chains.results.values()):
-            return  # permission was taken: a newer leader exists; restart
+        if self.config.batch_chains and not env.strict_outstanding:
+            # Single-completion fan-out: one queue entry per memory out,
+            # ONE wake back when the verdict is in.  Under the strict
+            # one-outstanding rule the long-lived proposer task cannot
+            # fan out directly (stragglers from this attempt would still
+            # be in flight at the next), so that mode keeps the
+            # throwaway-task chains below.
+            try:
+                state = yield env.fanout_to_all(
+                    lambda mid: WriteOp(REGION, (REGION, int(env.pid)), slot_value),
+                    need=majority,
+                )
+            finally:
+                if phase:
+                    phase.finish()
+            if state.naked > 0:
+                return  # permission was taken: a newer leader exists; restart
+        else:
+            chains = ChainRunner(env, "pmp2")
+
+            def phase2_chain(mid):
+                result = yield from env.write(
+                    mid, REGION, (REGION, int(env.pid)), slot_value
+                )
+                return _ChainResult(write_ok=result.ok, view=None)
+
+            try:
+                yield from chains.launch(phase2_chain)
+                yield from chains.wait_for(majority)
+            finally:
+                if phase:
+                    phase.finish()
+            if any(not r.write_ok for r in chains.results.values()):
+                return  # permission was taken: a newer leader exists; restart
         self._learn(my_value)
         yield from env.broadcast(Decision(value=my_value), topic=TOPIC, include_self=False)
 
@@ -202,13 +229,32 @@ class PmpNode:
         else:
             probe_key = (REGION, int(env.pid))
 
-        def phase1_chain(mid):
-            yield from env.change_permission(mid, REGION, grab)
-            write = yield from env.write(mid, REGION, probe_key, probe_slot)
-            if not write.ok:
-                return _ChainResult(write_ok=False, view=None)
-            snap = yield from env.snapshot(mid, REGION, (REGION,))
-            return _ChainResult(write_ok=True, view=snap.value if snap.ok else None)
+        if self.config.batch_chains:
+            # Doorbell-batched takeover: grab + probe + snapshot as ONE
+            # chain — two delays per memory instead of six.  The grab
+            # policy ACKs any legitimate self-grab, so the chain aborts
+            # exactly where the classic sequence would have failed.
+            chain_ops = (
+                ChangePermissionOp(REGION, grab),
+                WriteOp(REGION, probe_key, probe_slot),
+                SnapshotOp(REGION, (REGION,)),
+            )
+
+            def phase1_chain(mid):
+                result = yield from env.batch(mid, chain_ops)
+                if not result.ok:
+                    return _ChainResult(write_ok=False, view=None)
+                return _ChainResult(write_ok=True, view=result.value[2])
+
+        else:
+
+            def phase1_chain(mid):
+                yield from env.change_permission(mid, REGION, grab)
+                write = yield from env.write(mid, REGION, probe_key, probe_slot)
+                if not write.ok:
+                    return _ChainResult(write_ok=False, view=None)
+                snap = yield from env.snapshot(mid, REGION, (REGION,))
+                return _ChainResult(write_ok=True, view=snap.value if snap.ok else None)
 
         obs = env.obs
         phase = obs and obs.phase("pmp.prepare", ballot=str(prop_nr))

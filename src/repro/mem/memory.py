@@ -18,6 +18,7 @@ from typing import Any, Dict
 
 from repro.mem.layout import MemoryLayout
 from repro.mem.operations import (
+    BatchOp,
     ChangePermissionOp,
     MemoryOp,
     ProbeOp,
@@ -29,6 +30,7 @@ from repro.mem.operations import (
 from repro.mem.permissions import Permission
 from repro.types import (
     BOTTOM,
+    ChainAbort,
     MemoryId,
     OpResult,
     OpStatus,
@@ -55,6 +57,7 @@ class OpCounts:
     snapshots: int = 0
     permission_changes: int = 0
     probes: int = 0
+    batches: int = 0
     naks: int = 0
 
 
@@ -74,7 +77,7 @@ class Memory:
         # (see repro.mem.operations); order must match the OP_* numbering.
         self._op_handlers = (self._read, self._write, self._snapshot,
                              self._change_permission, self._probe,
-                             self._read_snapshot)
+                             self._read_snapshot, self._batch)
 
     # ------------------------------------------------------------------
     # failure injection
@@ -200,6 +203,26 @@ class Memory:
                     continue
             view[key] = value
         return OpResult(_ACK, view)
+
+    def _batch(self, pid: ProcessId, op: BatchOp) -> OpResult:
+        """Apply a work-request chain: sub-ops in order, abort on first NAK.
+
+        The whole chain executes atomically at its arrival instant — the
+        kernel delivers one request at a time, so no other operation can
+        interleave between two sub-ops of the same chain.  A NAK (e.g. the
+        region's permission was revoked between the chain being posted and
+        arriving) aborts the unapplied tail and reports the failing index,
+        matching how a QP error flushes the remaining work requests.
+        """
+        self.counts.batches += 1
+        handlers = self._op_handlers
+        values = []
+        for index, sub in enumerate(op.ops):
+            result = handlers[sub.kind](pid, sub)
+            if not result.ok:
+                return OpResult(_NAK, ChainAbort(index, tuple(values)))
+            values.append(result.value)
+        return OpResult(_ACK, tuple(values))
 
     def _change_permission(self, pid: ProcessId, op: ChangePermissionOp) -> OpResult:
         self.counts.permission_changes += 1

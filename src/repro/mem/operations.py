@@ -29,6 +29,7 @@ OP_SNAPSHOT = 2
 OP_CHANGE_PERMISSION = 3
 OP_PROBE = 4
 OP_READ_SNAPSHOT = 5
+OP_BATCH = 6
 
 
 class _OpBase:
@@ -154,4 +155,52 @@ class ReadSnapshotOp(_OpBase):
         self.floor = floor
 
 
-MemoryOp = ReadOp | WriteOp | SnapshotOp | ChangePermissionOp | ProbeOp | ReadSnapshotOp
+class BatchOp(_OpBase):
+    """A doorbell-batched chain of operations against **one** memory.
+
+    The RDMA idiom (Snippet-3-style ``BeginBatch``/``FinishBatch``): N work
+    requests posted through one doorbell, with only the last WR signalled —
+    one queue entry out, one completion back, however long the chain.  The
+    memory applies the sub-operations **in order, atomically at the chain's
+    arrival instant**; the first NAK aborts the remainder (the QP error
+    flush) and the chain resolves to
+    ``OpResult(NAK, ChainAbort(failed_index, partial))``.  A fully-ACKed
+    chain resolves to ``OpResult(ACK, tuple_of_sub_values)``.
+
+    Chains do not nest — a batch inside a batch is a construction error,
+    exactly as a WR list cannot contain another WR list.  ``regions`` is
+    the precomputed tuple of distinct region ids the chain touches (in
+    first-touch order): the explorer's dependency relation uses it as the
+    chain's conservative footprint.
+    """
+
+    __slots__ = ("ops", "regions")
+    kind = OP_BATCH
+
+    def __init__(self, ops) -> None:
+        ops = tuple(ops)
+        regions = []
+        for op in ops:
+            if getattr(op, "kind", None) == OP_BATCH:
+                raise ValueError("batched op chains do not nest")
+            region = getattr(op, "region", None)
+            if region is None:
+                raise ValueError(f"{op!r} is not a memory operation")
+            if region not in regions:
+                regions.append(region)
+        self.ops = ops
+        self.regions = tuple(regions)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+MemoryOp = (
+    ReadOp
+    | WriteOp
+    | SnapshotOp
+    | ChangePermissionOp
+    | ProbeOp
+    | ReadSnapshotOp
+    | BatchOp
+)

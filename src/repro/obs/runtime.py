@@ -200,13 +200,19 @@ class ObsRuntime:
             self._finish(span, now)
 
     def op_started(self, task, key, mid, op, now: float) -> None:
-        """Open a memop span keyed by (task, token) or by the OpFuture."""
+        """Open a memop span keyed by (task, token), (task, token, index)
+        for fan-out legs, or by the OpFuture.  A fused chain gets ONE span
+        (single-completion semantics) annotated with its sub-op count."""
+        attrs = {"mem": memory_name(mid)}
+        sub_ops = getattr(op, "ops", None)
+        if sub_ops is not None:
+            attrs["ops"] = len(sub_ops)
         span = self._start(
             type(op).__name__,
             K_MEMOP,
             task.label,
             task.ctx,
-            {"mem": memory_name(mid)},
+            attrs,
             now,
         )
         self._op_spans[key] = span

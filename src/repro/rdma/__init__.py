@@ -11,6 +11,6 @@ on the simulator.
 
 from repro.rdma.protection_domain import ProtectionDomain, RdmaMemoryRegion
 from repro.rdma.queue_pair import QueuePair
-from repro.rdma.verbs import RdmaNic
+from repro.rdma.verbs import RdmaNic, WrBatch
 
-__all__ = ["ProtectionDomain", "QueuePair", "RdmaMemoryRegion", "RdmaNic"]
+__all__ = ["ProtectionDomain", "QueuePair", "RdmaMemoryRegion", "RdmaNic", "WrBatch"]

@@ -9,6 +9,12 @@ hardware would complete with a protection error.
 
 All verbs are sub-generators (``yield from``), costing the model's usual
 delays: two per one-sided operation, one per message send.
+
+Doorbell batching: :meth:`RdmaNic.begin_batch` opens a :class:`WrBatch` —
+work requests are added with the same per-WR validation as the standalone
+verbs, and :meth:`WrBatch.finish` rings the doorbell: the whole chain goes
+out as ONE fused memory operation with a single completion (the ibverbs
+idiom of posting a linked WR list with only the last entry signalled).
 """
 
 from __future__ import annotations
@@ -104,6 +110,17 @@ class RdmaNic:
         return result
 
     # ------------------------------------------------------------------
+    # doorbell batching
+    # ------------------------------------------------------------------
+    def begin_batch(self, qp: QueuePair) -> "WrBatch":
+        """Open a work-request chain on *qp* (``BeginBatch`` in DARE-style
+        code).  Add WRs with ``post_read``/``post_write``/
+        ``post_read_array``, then ``yield from batch.finish()`` to ring
+        the doorbell and wait for the chain's single completion."""
+        qp.ensure_usable()
+        return WrBatch(self, qp)
+
+    # ------------------------------------------------------------------
     # two-sided verbs
     # ------------------------------------------------------------------
     def post_send(self, qp: QueuePair, payload: Any, topic: str = "rdma-send") -> Generator:
@@ -115,3 +132,82 @@ class RdmaNic:
         """Receive one two-sided message; None on timeout."""
         envelope = yield from self.env.recv(topic=topic, timeout=timeout)
         return envelope
+
+
+class WrBatch:
+    """A work-request chain under construction (one doorbell, one memory).
+
+    Each ``post_*`` performs the same local validation as the standalone
+    verb — QP liveness, rkey registration, access level, domain match —
+    *at add time*, mirroring how a NIC rejects a malformed WR when it is
+    posted, not when the chain completes.  All WRs must target the same
+    memory: a doorbell rings one queue, and the fused chain applies
+    atomically at one memory's arrival instant.
+
+    :meth:`finish` posts the chain as a single
+    :class:`~repro.mem.operations.BatchOp` and returns the chain's one
+    :class:`~repro.types.OpResult`: ACK with the tuple of per-WR values,
+    or NAK with a :class:`~repro.types.ChainAbort` naming the WR index
+    where the memory-side permission check failed (the QP error flush).
+    """
+
+    def __init__(self, nic: RdmaNic, qp: QueuePair) -> None:
+        self.nic = nic
+        self.qp = qp
+        self._ops: list = []
+        self._mid = None
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def _admit(self, registration: Optional[RdmaMemoryRegion]) -> None:
+        self.nic._check(self.qp, registration)
+        if self._mid is None:
+            self._mid = registration.mid
+        elif registration.mid != self._mid:
+            raise PermissionError_(
+                "work-request chain spans memories: a doorbell rings one queue"
+            )
+
+    def post_read(
+        self, registration: Optional[RdmaMemoryRegion], key: RegisterKey
+    ) -> "WrBatch":
+        """Append an RDMA read WR; returns self (chainable)."""
+        self._admit(registration)
+        if not registration.allows_read():
+            raise PermissionError_("registration does not allow remote read")
+        self._ops.append(ReadOp(registration.region, key))
+        return self
+
+    def post_write(
+        self, registration: Optional[RdmaMemoryRegion], key: RegisterKey, value: Any
+    ) -> "WrBatch":
+        """Append an RDMA write WR; returns self (chainable)."""
+        self._admit(registration)
+        if not registration.allows_write():
+            raise PermissionError_("registration does not allow remote write")
+        self._ops.append(WriteOp(registration.region, key, value))
+        return self
+
+    def post_read_array(
+        self,
+        registration: Optional[RdmaMemoryRegion],
+        prefix: Optional[RegisterKey] = None,
+    ) -> "WrBatch":
+        """Append a whole-buffer read WR; returns self (chainable)."""
+        self._admit(registration)
+        if not registration.allows_read():
+            raise PermissionError_("registration does not allow remote read")
+        self._ops.append(
+            SnapshotOp(registration.region, prefix or registration.prefix)
+        )
+        return self
+
+    def finish(self) -> Generator:
+        """Ring the doorbell: post the chain, wait for its single
+        completion, and return the chain's :class:`OpResult`."""
+        if not self._ops:
+            raise ValueError("FinishBatch on an empty work-request chain")
+        self.qp.ensure_usable()  # destroyed between posts and doorbell
+        result = yield from self.nic.env.batch(self._mid, self._ops)
+        return result

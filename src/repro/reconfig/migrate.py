@@ -169,6 +169,17 @@ class Migrator:
                             "delete", key, client=client, request_id=request_id
                         )
                     )
+        # Stream in destination-shard order (stable sort keeps the
+        # deterministic key order within a shard): each window chunk then
+        # arrives as a contiguous run in ONE destination leader's queue,
+        # which the leader's drain commits as a single Batch entry — one
+        # fused phase-2 chain per memory — instead of burning a consensus
+        # instance per key across interleaved shards.
+        batch.sort(
+            key=lambda command: self.partitioner.shard_for(
+                command.key, version=target_version
+            )
+        )
         for start in range(0, len(batch), self.window):
             chunk = batch[start : start + self.window]
             done = env.new_gate("mig-window")

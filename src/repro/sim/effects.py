@@ -15,6 +15,8 @@ SleepEffect       park for a fixed virtual duration            None
 GateWaitEffect    park until a local gate opens                True/False*
 SpawnEffect       start another task on this process           Task
 OpEffect          one memory op, park until it resolves        OpResult
+BatchOpEffect     one fused op chain, park until it resolves   OpResult
+OpFanoutEffect    ops to many memories, park until a quorum    FanoutState
 ================  ==========================================  ==============
 
 (*) False/None indicates the optional timeout elapsed first.
@@ -68,6 +70,8 @@ FX_SLEEP = 4
 FX_GATE_WAIT = 5
 FX_SPAWN = 6
 FX_OP = 7
+FX_BATCH_OP = 8
+FX_OP_FANOUT = 9
 
 
 class Effect:
@@ -205,3 +209,66 @@ class OpEffect(Effect):
     def __init__(self, mid: MemoryId, op: MemoryOp) -> None:
         self.mid = mid
         self.op = op
+
+
+class BatchOpEffect(Effect):
+    """Post a fused op chain (a :class:`~repro.mem.operations.BatchOp`)
+    to memory *mid* and park until its single completion.
+
+    The doorbell-batched sibling of :class:`OpEffect`: one queue entry
+    carries the whole chain to the memory, the memory applies the sub-ops
+    in order (abort-on-NAK), and one completion event resumes the task
+    with the chain's :class:`~repro.types.OpResult` — ACK with the tuple
+    of sub-values, or NAK with a :class:`~repro.types.ChainAbort`.  The
+    request leg is priced at ``request + k·issue`` (only the last WR
+    signals), so a nominal chain costs the same two delays as a single
+    operation.  Under ``strict_outstanding`` the chain counts as ONE
+    outstanding operation on its memory, matching single-completion
+    semantics.
+    """
+
+    __slots__ = ("mid", "op")
+    kind = FX_BATCH_OP
+
+    def __init__(self, mid: MemoryId, op: MemoryOp) -> None:
+        self.mid = mid
+        self.op = op
+
+
+class OpFanoutEffect(Effect):
+    """Post one op (or chain) per target memory; park for ONE completion
+    verdict instead of one resolution closure per future.
+
+    ``targets`` is a tuple of ``(mid, op)`` pairs, all posted at the same
+    instant.  The kernel tracks completions in a single shared
+    :class:`~repro.sim.futures.FanoutState` and resumes the task exactly
+    once, with that state, when the verdict is in:
+
+    * ``count_acks=False`` — after *need* completions (ACK or NAK), the
+      quorum-wait idiom of a phase-2 write fan-out;
+    * ``count_acks=True`` — after *need* ACKs (success) or more than
+      *spare_naks* NAKs (failure short-circuit), the probe-verdict idiom;
+    * either way after *timeout*, when given.
+
+    Late completions still land in ``state.results`` (the state outlives
+    the wake, like futures do), but never resume the task again.  Ops on
+    crashed memories simply never complete — exactly the model's futures
+    semantics, which is why quorum callers must size *need* accordingly.
+    """
+
+    __slots__ = ("targets", "need", "count_acks", "spare_naks", "timeout")
+    kind = FX_OP_FANOUT
+
+    def __init__(
+        self,
+        targets,
+        need: int,
+        count_acks: bool = False,
+        spare_naks: int = 0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.targets = tuple(targets)
+        self.need = need
+        self.count_acks = count_acks
+        self.spare_naks = spare_naks
+        self.timeout = timeout

@@ -23,6 +23,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence,
 
 from repro.crypto.signatures import Signed, SigningKey
 from repro.mem.operations import (
+    BatchOp,
     ChangePermissionOp,
     MemoryOp,
     ProbeOp,
@@ -34,9 +35,11 @@ from repro.mem.operations import (
 from repro.mem.permissions import Permission
 from repro.net.messages import Envelope
 from repro.sim.effects import (
+    BatchOpEffect,
     GateWaitEffect,
     InvokeEffect,
     OpEffect,
+    OpFanoutEffect,
     RecvEffect,
     SendEffect,
     SleepEffect,
@@ -87,6 +90,13 @@ class ProcessEnv:
         """True when the kernel enforces one outstanding op per memory per
         task (the model-conformance mode of Section 3)."""
         return self._kernel.config.strict_outstanding
+
+    @property
+    def fifo_memory_ops(self) -> bool:
+        """True when the latency model guarantees FIFO memory-op delivery
+        (all delays are model constants).  Fused single-round read chains
+        gate on this; see ``Kernel.fifo_memory_ops``."""
+        return self._kernel.fifo_memory_ops
 
     @property
     def obs(self):
@@ -274,3 +284,87 @@ class ProcessEnv:
     def majority_of_memories(self) -> int:
         """Quorum size over memories: ``floor(m/2) + 1``."""
         return self.n_memories // 2 + 1
+
+    # ------------------------------------------------------------------
+    # doorbell batching (fused op chains + single-completion fan-outs)
+    # ------------------------------------------------------------------
+    def batch(self, mid: MemoryId, ops: Iterable[MemoryOp]) -> Generator:
+        """Post *ops* to memory *mid* as one fused chain; returns
+        :class:`OpResult` — ACK with the tuple of per-op values, or NAK
+        with a :class:`~repro.types.ChainAbort` naming the failing index.
+
+        The chain is applied in order, atomically at its arrival instant,
+        and costs the same two delays as a single operation (plus the
+        model's per-WR issue increments, nominally zero).
+        """
+        result = yield BatchOpEffect(MemoryId(mid), BatchOp(ops))
+        return result
+
+    def write_batch(
+        self,
+        mid: MemoryId,
+        writes: Iterable[Tuple[RegionId, RegisterKey, Any]],
+    ) -> Generator:
+        """Fused multi-register write to one memory; returns :class:`OpResult`.
+
+        ``writes`` is an iterable of ``(region, key, value)`` triples,
+        applied in order with chain-abort semantics — the doorbell-batched
+        analogue of N ``env.write`` round trips.
+        """
+        ops = [WriteOp(region, key, value) for region, key, value in writes]
+        result = yield BatchOpEffect(MemoryId(mid), BatchOp(ops))
+        return result
+
+    def read_batch(
+        self,
+        mid: MemoryId,
+        reads: Iterable[Tuple[RegionId, RegisterKey]],
+    ) -> Generator:
+        """Fused multi-register read from one memory; returns
+        :class:`OpResult` whose ACK value is the tuple of register values
+        in request order."""
+        ops = [ReadOp(region, key) for region, key in reads]
+        result = yield BatchOpEffect(MemoryId(mid), BatchOp(ops))
+        return result
+
+    def op_fanout(
+        self,
+        targets: Iterable[Tuple[MemoryId, MemoryOp]],
+        need: int,
+        count_acks: bool = False,
+        spare_naks: int = 0,
+        timeout: Optional[float] = None,
+    ) -> OpFanoutEffect:
+        """Effect builder: post one op (or chain) per ``(mid, op)`` target
+        and park for a single completion verdict; the task resumes with the
+        shared :class:`~repro.sim.futures.FanoutState`.  See
+        :class:`~repro.sim.effects.OpFanoutEffect` for the verdict rules.
+        """
+        return OpFanoutEffect(
+            tuple((MemoryId(mid), op) for mid, op in targets),
+            need,
+            count_acks=count_acks,
+            spare_naks=spare_naks,
+            timeout=timeout,
+        )
+
+    def fanout_to_all(
+        self,
+        make_op: Callable[[MemoryId], MemoryOp],
+        need: Optional[int] = None,
+        count_acks: bool = False,
+        spare_naks: int = 0,
+        timeout: Optional[float] = None,
+    ) -> OpFanoutEffect:
+        """``op_fanout`` over every memory: ``make_op(mid)`` per memory,
+        default *need* = a majority — the phase-2 fan-out idiom in one
+        effect (single completion, no futures, no waiter closures)."""
+        if need is None:
+            need = self.majority_of_memories()
+        return OpFanoutEffect(
+            tuple((mid, make_op(mid)) for mid in self.memories),
+            need,
+            count_acks=count_acks,
+            spare_naks=spare_naks,
+            timeout=timeout,
+        )

@@ -55,6 +55,8 @@ EV_RECV_TIMEOUT = 6  #: a = task, b = suspension token (parked recv timed out)
 EV_OP_ARRIVE = 7     #: a = task, b = token, c = (mid, op) — fused OpEffect request leg
 EV_OP_RESOLVE = 8    #: a = task, b = token, c = (mid, result) — fused OpEffect response
 EV_FAULT = 9         #: a = typed fault event (see repro.sim.faults) — no closure
+EV_FAN_ARRIVE = 10   #: a = task, b = FanoutState, c = (index, mid, op) — fan-out request leg
+EV_FAN_RESOLVE = 11  #: a = task, b = FanoutState, c = (index, mid, result) — fan-out response
 
 #: One scheduled event: ``(time, seq, kind, a, b, c)``.
 Entry = Tuple[float, int, int, Any, Any, Any]

@@ -67,6 +67,47 @@ class OpFuture:
         return f"<OpFuture#{self.future_id} mu{int(self.mid)+1} {state}>"
 
 
+class FanoutState:
+    """Shared completion state of one :class:`~repro.sim.effects.OpFanoutEffect`.
+
+    One object replaces N OpFutures plus their waiter closures: each
+    response leg updates the counters in place, and the kernel resumes the
+    issuing task (once) with this state when the verdict is in.  Tasks
+    woken by a timeout inspect the same fields — ``results[i]`` is the
+    i-th target's :class:`~repro.types.OpResult`, or ``None`` while (or
+    forever if, e.g. on a crashed memory) that op is outstanding.
+    """
+
+    __slots__ = ("results", "acked", "naked", "done", "need", "count_acks",
+                 "spare_naks", "token", "fired")
+
+    def __init__(self, size: int, need: int, count_acks: bool,
+                 spare_naks: int, token: int) -> None:
+        self.results: List[Optional[OpResult]] = [None] * size
+        self.acked = 0
+        self.naked = 0
+        self.done = 0
+        self.need = need
+        self.count_acks = count_acks
+        self.spare_naks = spare_naks
+        self.token = token
+        self.fired = False
+
+    @property
+    def satisfied(self) -> bool:
+        """The success verdict: *need* ACKs (``count_acks``) or *need*
+        completions (quorum-wait mode)."""
+        if self.count_acks:
+            return self.acked >= self.need
+        return self.done >= self.need
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FanoutState {self.done}/{len(self.results)} done "
+            f"ack={self.acked} nak={self.naked} need={self.need}>"
+        )
+
+
 class Gate:
     """A level-triggered latch connecting tasks of the same process.
 

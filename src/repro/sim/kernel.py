@@ -69,6 +69,7 @@ from repro.crypto.signatures import SignatureAuthority
 from repro.errors import LivelockError, OutstandingOpError, SimulationError
 from repro.mem.layout import MemoryLayout
 from repro.mem.memory import Memory
+from repro.mem.operations import OP_BATCH
 from repro.metrics.ledger import MetricsLedger
 from repro.net.messages import Envelope
 from repro.net.network import Network, RecvWaiter
@@ -86,6 +87,8 @@ from repro.sim.event_queue import (
     EV_ARRIVE,
     EV_CALL,
     EV_DELIVER,
+    EV_FAN_ARRIVE,
+    EV_FAN_RESOLVE,
     EV_FAULT,
     EV_OP_ARRIVE,
     EV_OP_RESOLVE,
@@ -96,7 +99,7 @@ from repro.sim.event_queue import (
     EventQueue,
 )
 from repro.sim.faults import FailureController
-from repro.sim.futures import OpFuture
+from repro.sim.futures import FanoutState, OpFuture
 from repro.sim.latency import LatencyModel, NominalLatency
 from repro.sim.tracing import Tracer
 from repro.types import MemoryId, ProcessId, memory_name, process_name
@@ -104,8 +107,8 @@ from repro.types import MemoryId, ProcessId, memory_name, process_name
 #: Ω failure-detector oracle: maps virtual time to the current leader pid.
 OmegaFn = Callable[[float], int]
 
-#: number of effect kinds the dispatch table covers (FX_SEND..FX_OP)
-_N_FX = 8
+#: number of effect kinds the dispatch table covers (FX_SEND..FX_OP_FANOUT)
+_N_FX = 10
 
 
 @dataclass
@@ -225,6 +228,7 @@ class Kernel:
         self._msg_delay: Optional[float] = latency.constant_message_delay
         self._req_delay: Optional[float] = latency.constant_request_delay
         self._resp_delay: Optional[float] = latency.constant_response_delay
+        self._issue_delay: Optional[float] = latency.constant_issue_delay
         # Static config and ledger references hoisted off the per-event path.
         # links_enabled and strict_outstanding are NOT hoisted: callers
         # toggle both on the config post-init (e.g. the disk-model cluster).
@@ -245,6 +249,8 @@ class Kernel:
             self._ev_op_arrive,     # EV_OP_ARRIVE
             self._ev_op_resolve,    # EV_OP_RESOLVE
             self._ev_fault,         # EV_FAULT
+            self._ev_fan_arrive,    # EV_FAN_ARRIVE
+            self._ev_fan_resolve,   # EV_FAN_RESOLVE
         ]
         self._fx_handlers = [
             self._fx_send,       # FX_SEND
@@ -255,6 +261,8 @@ class Kernel:
             self._fx_gate_wait,  # FX_GATE_WAIT
             self._fx_spawn,      # FX_SPAWN
             self._fx_op,         # FX_OP
+            self._fx_op,         # FX_BATCH_OP (chains share the fused-op path)
+            self._fx_op_fanout,  # FX_OP_FANOUT
         ]
 
     # ------------------------------------------------------------------
@@ -441,6 +449,10 @@ class Kernel:
                     self._ev_op_arrive(a, b, c)
                 elif kind == EV_OP_RESOLVE:
                     self._ev_op_resolve(a, b, c)
+                elif kind == EV_FAN_ARRIVE:
+                    self._ev_fan_arrive(a, b, c)
+                elif kind == EV_FAN_RESOLVE:
+                    self._ev_fan_resolve(a, b, c)
                 elif kind == EV_ARRIVE:
                     self._ev_arrive(a, b, c)
                 elif kind == EV_RESOLVE:
@@ -661,6 +673,38 @@ class Kernel:
         if task.pending_token == token and not task.done:
             self._resume(task, result)
 
+    def _ev_fan_arrive(self, task, state, idx_mid_op) -> None:
+        index, mid, op = idx_mid_op
+        result, resp = self._memory_apply_leg(task.pid, mid, op)
+        if result is None:
+            return  # crashed memory: this leg of the fan-out never completes
+        self.queue.push(
+            self.now + resp, EV_FAN_RESOLVE, task, state, (index, mid, result)
+        )
+
+    def _ev_fan_resolve(self, task, state, idx_mid_result) -> None:
+        index, mid, result = idx_mid_result
+        self._op_response_bookkeeping(task, mid, result)
+        if self.obs is not None:
+            self.obs.op_resolved(
+                (task.task_id, state.token, index), self.now, result.status.value
+            )
+        state.results[index] = result
+        state.done += 1
+        if result.ok:
+            state.acked += 1
+        else:
+            state.naked += 1
+        if state.fired:
+            return  # late completion: recorded above, never resumes the task
+        if state.count_acks:
+            verdict = state.acked >= state.need or state.naked > state.spare_naks
+        else:
+            verdict = state.done >= state.need
+        if verdict:
+            state.fired = True
+            self._wake(task, state.token, state)
+
     # ------------------------------------------------------------------
     # task stepping
     # ------------------------------------------------------------------
@@ -820,10 +864,29 @@ class Kernel:
                     f"{task.label} already has an outstanding op on {memory_name(mid)}"
                 )
             task.outstanding[mid] = task.outstanding.get(mid, 0) + 1
-        self._mem_op_counter[task.pid, type(op).__name__] += 1
         req = self._req_delay
         if req is None:
             req = self.config.latency.memory_request_delay(task.pid, mid, self.now, self.rng)
+        if op.kind != OP_BATCH:
+            self._mem_op_counter[task.pid, type(op).__name__] += 1
+        else:
+            # A chain is ONE queue entry (and one outstanding op under the
+            # strict rule), but each sub-op is real work: count them under
+            # their own names so ledgers stay comparable between batched
+            # and unbatched runs.  Delay: only the last WR signals, so the
+            # chain costs the request leg plus one issue increment per WR
+            # (nominal issue cost: zero — see LatencyModel).
+            counter = self._mem_op_counter
+            pid = task.pid
+            for sub in op.ops:
+                counter[pid, type(sub).__name__] += 1
+            issue = self._issue_delay
+            if issue is not None:
+                req += issue * len(op.ops)
+            else:
+                latency = self.config.latency
+                for _ in op.ops:
+                    req += latency.memory_issue_delay(pid, mid, self.now, self.rng)
         if self.tracer.enabled:
             self.tracer.record(
                 self.now, "invoke", task.label, mem=memory_name(mid), op=type(op).__name__
@@ -917,7 +980,12 @@ class Kernel:
         )
 
     def _fx_op(self, task: Task, effect):
-        """Fused invoke + one-future wait (see :class:`OpEffect`)."""
+        """Fused invoke + one-future wait (see :class:`OpEffect`).
+
+        Also the handler for :class:`BatchOpEffect`: a chain rides the same
+        two queue entries — ``_op_request_leg`` prices its issue increments
+        and the memory's dispatch table applies it abort-on-NAK.
+        """
         mid = effect.mid
         op = effect.op
         req = self._op_request_leg(task, mid, op)
@@ -927,9 +995,49 @@ class Kernel:
         self.queue.push(self.now + req, EV_OP_ARRIVE, task, token, (mid, op))
         return _PARKED
 
+    def _fx_op_fanout(self, task: Task, effect):
+        """Post one op (or chain) per target memory with single-completion
+        semantics (see :class:`OpFanoutEffect`): all completions fold into
+        one shared :class:`FanoutState`, and the task resumes exactly once
+        when the verdict is in — no per-future waiter closures."""
+        targets = effect.targets
+        token = task.new_token()
+        state = FanoutState(
+            len(targets), effect.need, effect.count_acks, effect.spare_naks, token
+        )
+        queue = self.queue
+        obs = self.obs
+        for index, (mid, op) in enumerate(targets):
+            req = self._op_request_leg(task, mid, op)
+            if obs is not None:
+                obs.op_started(task, (task.task_id, token, index), mid, op, self.now)
+            queue.push(self.now + req, EV_FAN_ARRIVE, task, state, (index, mid, op))
+        if state.satisfied:
+            # Degenerate verdict (need <= 0): resume at this instant; the
+            # posted ops still complete into the state later.
+            state.fired = True
+            queue.push_ready(EV_RESUME, task, state)
+        elif effect.timeout is not None:
+            queue.push(self.now + effect.timeout, EV_WAKE, task, token, state)
+        return _PARKED
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def fifo_memory_ops(self) -> bool:
+        """True when every memory-op delay is a model constant, so two
+        operations posted to one memory in order also arrive — and apply —
+        in that order (the FIFO queue-pair property).  Fused read chains
+        that adopt a watermark and the entries it covers from ONE snapshot
+        rely on this; under jittered/adversarial models it is False and
+        callers fall back to sequential rounds."""
+        return (
+            self._req_delay is not None
+            and self._resp_delay is not None
+            and self._issue_delay is not None
+        )
+
     def correct_processes(self) -> List[ProcessId]:
         return [
             ProcessId(p)

@@ -42,6 +42,9 @@ class LatencyModel:
     constant_request_delay: Optional[float] = None
     #: fixed response leg, or None when ``memory_response_delay`` must be called
     constant_response_delay: Optional[float] = None
+    #: fixed per-WR issue cost within a batched chain, or None when
+    #: ``memory_issue_delay`` must be called (see below)
+    constant_issue_delay: Optional[float] = 0.0
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -53,6 +56,7 @@ class LatencyModel:
             ("message_delay", "constant_message_delay"),
             ("memory_request_delay", "constant_request_delay"),
             ("memory_response_delay", "constant_response_delay"),
+            ("memory_issue_delay", "constant_issue_delay"),
         ):
             if method in cls.__dict__ and constant not in cls.__dict__:
                 setattr(cls, constant, None)
@@ -71,6 +75,22 @@ class LatencyModel:
         self, pid: ProcessId, mid: MemoryId, now: float, rng: random.Random
     ) -> float:
         return 1.0
+
+    def memory_issue_delay(
+        self, pid: ProcessId, mid: MemoryId, now: float, rng: random.Random
+    ) -> float:
+        """Per-work-request issue cost inside a batched chain.
+
+        Doorbell batching models *unsignaled* operations: only the last WR
+        of a chain signals, so a chain of ``k`` operations costs one
+        request leg, ``k`` issue increments, and one response leg — never
+        ``k`` full round-trips.  The NIC streams chained WRs back-to-back,
+        so the nominal issue cost is zero: the chain collapses to the same
+        two delays as a single operation, which is exactly the paper's
+        delay accounting for slot-array verbs.  Models that want to charge
+        for chain length override this (or the constant).
+        """
+        return 0.0
 
 
 class NominalLatency(LatencyModel):

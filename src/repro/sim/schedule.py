@@ -34,6 +34,8 @@ from repro.sim.event_queue import (
     EV_ARRIVE,
     EV_CALL,
     EV_DELIVER,
+    EV_FAN_ARRIVE,
+    EV_FAN_RESOLVE,
     EV_FAULT,
     EV_OP_ARRIVE,
     EV_OP_RESOLVE,
@@ -55,6 +57,8 @@ EV_NAMES = (
     "op_arrive",
     "op_resolve",
     "fault",
+    "fan_arrive",
+    "fan_resolve",
 )
 
 
@@ -103,6 +107,11 @@ def _target_of(kind: int, a: Any, b: Any, c: Any) -> str:
         if kind == EV_OP_ARRIVE:
             mid, op = c
             return f"{a.label}->mu{int(mid) + 1}:{type(op).__name__}"
+        if kind == EV_FAN_ARRIVE:
+            _index, mid, op = c
+            return f"{a.label}->mu{int(mid) + 1}:{type(op).__name__}"
+        if kind == EV_FAN_RESOLVE:
+            return getattr(a, "label", None) or repr(a)
         if kind == EV_FAULT:
             return repr(a)
         if kind == EV_CALL:

@@ -21,12 +21,21 @@ from repro.consensus.chains import ChainRunner
 from repro.errors import ConfigurationError
 from repro.consensus.messages import Decision
 from repro.consensus.probes import (
+    max_confirmed_watermark,
     probe_write_grant,
     publish_watermark,
+    read_quorum_chain,
     read_quorum_watermarks,
+    watermark_key,
 )
 from repro.consensus.protected_memory_paxos import PmpSlot
-from repro.mem.operations import ReadSnapshotOp, WriteOp
+from repro.mem.operations import (
+    BatchOp,
+    ChangePermissionOp,
+    ReadSnapshotOp,
+    SnapshotOp,
+    WriteOp,
+)
 from repro.mem.permissions import (
     Permission,
     exclusive_grab_policy,
@@ -134,6 +143,16 @@ class SmrConfig:
     #: (amortised across the batch), and only the one-sided quorum read
     #: path needs it.  Requires ``smr_rx_regions`` to be registered.
     publish_watermark: bool = False
+    #: doorbell batching: fuse the phase-2 slot write with the watermark
+    #: publish into ONE chain per memory (saving a full memory round per
+    #: committed slot when ``publish_watermark`` is on), run fan-outs with
+    #: single-completion semantics, and let quorum readers use the fused
+    #: 1-round chain read.  Writers and readers MUST agree on this flag
+    #: (they share the SmrConfig object): fused writers can leave a failed
+    #: chain's watermark at a minority, which only the batched readers'
+    #: confirmed-majority rule tolerates.  ``False`` restores the classic
+    #: separate-rounds paths exactly.
+    batch_chains: bool = True
 
 
 def smr_regions(
@@ -319,6 +338,10 @@ class ReplicatedLog:
         * before answering, the observed watermark is written back to a
           majority (skipped when the quorum already confirms it), so two
           sequential quorum reads can never see new-then-old.
+
+        With ``batch_chains`` (and FIFO queue pairs) the whole read is
+        ONE doorbell-batched round — see :meth:`_quorum_read_fused` for
+        the adoption rules that replace the write-back.
         """
         env = self.env
         majority = env.majority_of_memories()
@@ -333,6 +356,15 @@ class ReplicatedLog:
 
     def _quorum_read_inner(self, majority: int, timeout: Optional[float]) -> Generator:
         env = self.env
+        if self.config.batch_chains and env.fifo_memory_ops:
+            # Doorbell-batched read: ONE fused chain per memory carries
+            # both the watermark snapshot and the entry snapshot — the
+            # two sequential rounds collapse into one.  Requires FIFO
+            # queue pairs (constant per-leg delays): with reordering the
+            # per-view consistent-cut argument below would not bound
+            # which commits an early-served entry view has seen.
+            result = yield from self._quorum_read_fused(majority, timeout)
+            return result
         # The watermark MUST be observed before the entries are fetched:
         # slots <= watermark were majority-written before the watermark
         # reached the memory that served it, so entry reads issued AFTER
@@ -378,12 +410,91 @@ class ReplicatedLog:
                 # not one-sided-servable; the consensus path still is
                 return None
         if not confirmed:
+            if self.config.batch_chains:
+                # Fused writers can leave a FAILED chain's watermark at a
+                # minority of registers (the slot write ACKed, the run
+                # died before a majority).  Writing that residue back
+                # would promote it to a majority and let a later reader
+                # "confirm" a slot no writer ever committed — so under
+                # batch_chains an unconfirmed watermark is neither served
+                # nor written back: fall back to the consensus path.
+                return None
             target = max(watermark, self._wm_publish_floor)
             self._wm_publish_floor = target
             ok = yield from publish_watermark(
                 env, self.rx_region, target, timeout=timeout
             )
             if not ok:
+                return None
+        for slot in range(floor, watermark + 1):
+            if slot > self.applied_upto:  # the listener may have raced ahead
+                self._commit(slot, best[slot][1])
+        return self.applied_upto
+
+    def _quorum_read_fused(self, majority: int, timeout: Optional[float]) -> Generator:
+        """The 1-round doorbell-batched quorum read.
+
+        Each ACKing memory returns a *consistent cut* ``(wm_view,
+        entry_view)`` — both snapshots applied at one arrival instant.
+        Three rules make the single round safe where the classic path
+        needed sequencing and a write-back:
+
+        * **per-register confirmation** (``max_confirmed_watermark``):
+          the max watermark is trusted only when one writer's register
+          carries it at a majority of views, which proves that writer
+          completed the slot under the fence;
+        * **per-view qualification**: slot ``s`` is adopted only from
+          views whose own watermark is ``>= s``.  A fused writer installs
+          a slot and its watermark in the SAME chain and watermarks are
+          monotone, so every qualifying view postdates some commit chain
+          covering ``s`` — an entry view served before slot ``s``'s
+          commit reached that memory can never supply a fenced-out
+          proposer's residue for it;
+        * **no write-back**: a confirmed watermark is already durable at
+          a majority, and an unconfirmed one must not be amplified (see
+          ``_quorum_read_inner``) — so the round is never followed by a
+          publish.
+
+        Holes (a committed slot no qualifying view holds — wiped memory,
+        or every cut predating its chain) return ``None``: consensus
+        fallback, same as the classic path.
+        """
+        env = self.env
+        floor = self.applied_upto + 1
+        pairs = yield from read_quorum_chain(
+            env, self.rx_region, self.region, (self.region,), floor, timeout=timeout
+        )
+        if pairs is None:
+            return None
+        watermark, confirmed = max_confirmed_watermark(
+            [wm_view for wm_view, _entries in pairs], majority
+        )
+        if watermark <= self.applied_upto:
+            # local state is already at least as fresh as the quorum
+            return self.applied_upto
+        if not confirmed:
+            return None
+        best: Dict[int, tuple] = {}
+        for wm_view, entry_view in pairs:
+            own = -1
+            for value in wm_view.values():
+                if isinstance(value, int) and value > own:
+                    own = value
+            for key, entry in entry_view.items():
+                if not isinstance(entry, PmpSlot) or entry.acc_prop is None:
+                    continue  # ballot-publishing probes carry no value
+                if is_bottom(entry.value):
+                    continue
+                slot = key[1]
+                if not isinstance(slot, int) or not floor <= slot <= watermark:
+                    continue
+                if slot > own:
+                    continue  # this cut predates slot's commit chain
+                current = best.get(slot)
+                if current is None or entry.acc_prop > current[0]:
+                    best[slot] = (entry.acc_prop, entry.value)
+        for slot in range(floor, watermark + 1):
+            if slot not in best and slot > self.applied_upto:
                 return None
         for slot in range(floor, watermark + 1):
             if slot > self.applied_upto:  # the listener may have raced ahead
@@ -551,12 +662,53 @@ class ReplicatedLog:
                 return
 
         # Phase 2: one slot write per memory, all leaving at this instant,
-        # leader resuming on a majority — two delays either way.
+        # leader resuming on a majority — two delays either way.  With
+        # batch_chains + publish_watermark the watermark write rides the
+        # SAME chain as the slot write (slot first, so a deposed leader's
+        # NAK aborts the chain before the watermark can advance), saving
+        # the separate publish round per committed slot.
         slot_value = PmpSlot(min_prop=prop_nr, acc_prop=prop_nr, value=my_value)
         key = self._slot_key(slot, int(env.pid))
         obs = env.obs
         phase = obs and obs.phase("log.phase2", slot=slot)
-        if env.strict_outstanding:
+        publish = self.config.publish_watermark
+        fused = publish and self.config.batch_chains
+        published = False
+        wm_refused = False
+        if fused:
+            # Floor raised BEFORE the chain leaves (same monotonicity
+            # contract as _publish_watermark): a concurrent local read
+            # path must refuse to serve until the apply catches up.
+            target = max(int(slot), self._wm_publish_floor)
+            self._wm_publish_floor = target
+            chain_ops = (
+                WriteOp(self.region, key, slot_value),
+                WriteOp(
+                    self.rx_region,
+                    watermark_key(self.rx_region, int(env.pid)),
+                    target,
+                ),
+            )
+            if env.strict_outstanding:
+                chains = ChainRunner(env, f"{self.region}2-{slot}")
+
+                def phase2(mid):
+                    result = yield from env.batch(mid, chain_ops)
+                    return result
+
+                yield from chains.launch(phase2)
+                yield from chains.wait_for(majority)
+                results = list(chains.results.values())
+            else:
+                chain = BatchOp(chain_ops)
+                state = yield env.fanout_to_all(lambda mid: chain, need=majority)
+                results = [r for r in state.results if r is not None]
+            failed = any(not r.ok for r in results)
+            wm_refused = any(
+                not r.ok and r.value.failed_index == 1 for r in results
+            )
+            published = not failed
+        elif env.strict_outstanding:
             # Model-conformance mode: the one-outstanding rule is enforced
             # per task per memory, and the proposer task is long-lived — a
             # same-instant straggler write from slot N would still be in
@@ -571,10 +723,16 @@ class ReplicatedLog:
             yield from chains.launch(phase2)
             yield from chains.wait_for(majority)
             failed = any(not ok for ok in chains.results.values())
+        elif self.config.batch_chains:
+            # Hot path, nothing to fuse (watermark off): single-completion
+            # fan-out — one queue entry per memory out, ONE wake back, no
+            # per-future waiter closures.
+            write_op = WriteOp(region=self.region, key=key, value=slot_value)
+            state = yield env.fanout_to_all(lambda mid: write_op, need=majority)
+            failed = state.naked > 0
         else:
-            # Hot path: issue the writes directly from the proposer task —
-            # no per-memory task spawn (a single write has no sequence to
-            # chain).
+            # Classic path (batch_chains off): issue the writes directly
+            # from the proposer task and wait on the futures.
             write_op = WriteOp(region=self.region, key=key, value=slot_value)
             futures = yield from env.invoke_on_all(lambda mid: write_op)
             yield env.wait(futures, count=majority)
@@ -582,9 +740,18 @@ class ReplicatedLog:
         if phase:
             phase.finish(failed=failed)
         if failed:
+            if wm_refused:
+                # A chain aborted at the watermark write: the open, static
+                # rx region can only refuse when it was never registered —
+                # same loud assembly error as the separate publish round.
+                raise ConfigurationError(
+                    f"watermark publish to {self.rx_region!r} refused: "
+                    "publish_watermark=True requires the smr_rx_regions "
+                    "read-index region to be registered"
+                )
             self.permissions_held = False  # somebody grabbed the region
             return
-        if self.config.publish_watermark:
+        if publish and not published:
             # The slot is committed (majority-acked under the fence) but
             # not yet client-visible; make the watermark durable FIRST so
             # no client can see a reply a quorum reader could miss.  The
@@ -609,18 +776,41 @@ class ReplicatedLog:
         chains = ChainRunner(env, f"{self.region}1-{slot}")
         grab = Permission.exclusive_writer(int(env.pid), range(env.n_processes))
         probe = PmpSlot(min_prop=prop_nr, acc_prop=None, value=BOTTOM)
+        probe_key = self._slot_key(slot, int(env.pid))
 
-        def phase1(mid):
-            yield from env.change_permission(mid, self.region, grab)
-            write = yield from env.write(
-                mid, self.region, self._slot_key(slot, int(env.pid)), probe
+        if self.config.batch_chains:
+            # Doorbell-batched takeover: grab + ballot-publishing probe +
+            # whole-region snapshot ride ONE chain per memory — two delays
+            # instead of six.  The grab policy ACKs any legitimate
+            # self-grab (including a no-op re-grab), so the chain aborts
+            # exactly where the classic sequence would have failed: a
+            # tombstoned region NAKs at WR 0, and no usurper can
+            # interleave between probe and snapshot (the chain applies
+            # atomically at the memory).
+            chain_ops = (
+                ChangePermissionOp(self.region, grab),
+                WriteOp(self.region, probe_key, probe),
+                SnapshotOp(self.region, (self.region,)),
             )
-            if not write.ok:
-                return (False, None)
-            # Takeover reads the *whole* region: every slot any previous
-            # leader may have written, not just the one being proposed.
-            snap = yield from env.snapshot(mid, self.region, (self.region,))
-            return (True, snap.value if snap.ok else None)
+
+            def phase1(mid):
+                result = yield from env.batch(mid, chain_ops)
+                if not result.ok:
+                    return (False, None)
+                return (True, result.value[2])
+
+        else:
+
+            def phase1(mid):
+                yield from env.change_permission(mid, self.region, grab)
+                write = yield from env.write(mid, self.region, probe_key, probe)
+                if not write.ok:
+                    return (False, None)
+                # Takeover reads the *whole* region: every slot any
+                # previous leader may have written, not just the one
+                # being proposed.
+                snap = yield from env.snapshot(mid, self.region, (self.region,))
+                return (True, snap.value if snap.ok else None)
 
         obs = env.obs
         phase = obs and obs.phase("log.prepare", slot=slot)

@@ -100,6 +100,37 @@ class OpResult:
         return f"OpResult(status={self.status!r}, value={self.value!r})"
 
 
+class ChainAbort:
+    """NAK payload of a batched operation chain (see ``mem.operations.BatchOp``).
+
+    ``failed_index`` is the position of the first sub-operation that NAKed
+    — everything before it was applied, everything after it was aborted,
+    matching RDMA work-request-chain error semantics (the QP enters an
+    error state and flushes the remaining WRs).  ``partial`` carries the
+    result values of the sub-operations that did complete, in order.
+    """
+
+    __slots__ = ("failed_index", "partial")
+
+    def __init__(self, failed_index: int, partial: Tuple[Any, ...] = ()) -> None:
+        fill = object.__setattr__
+        fill(self, "failed_index", failed_index)
+        fill(self, "partial", tuple(partial))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"ChainAbort is immutable (tried to set {name!r})")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ChainAbort):
+            return NotImplemented
+        return (
+            self.failed_index == other.failed_index and self.partial == other.partial
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChainAbort(failed_index={self.failed_index}, partial={self.partial!r})"
+
+
 def process_name(pid: ProcessId) -> str:
     """Human-readable process name used in traces (``p1`` is process 0)."""
     return f"p{int(pid) + 1}"

@@ -15,10 +15,18 @@ from repro import (
 
 class TestPmpSkipAblation:
     def test_skip_off_restores_prepare_phase(self):
-        config = PmpConfig(skip_first_attempt=False)
+        config = PmpConfig(skip_first_attempt=False, batch_chains=False)
         result = run_consensus(ProtectedMemoryPaxos(config), 3, 3)
         assert result.all_decided and result.agreed
         assert result.earliest_decision_delay == 8.0  # cp + write + read + write
+
+    def test_skip_off_batched_prepare_is_one_round(self):
+        # Doorbell batching fuses cp + probe + snapshot into one chain:
+        # the full prepare costs one memory round, so skip-off is 2 + 2.
+        config = PmpConfig(skip_first_attempt=False)
+        result = run_consensus(ProtectedMemoryPaxos(config), 3, 3)
+        assert result.all_decided and result.agreed
+        assert result.earliest_decision_delay == 4.0  # chain + write
 
     def test_skip_off_still_safe_under_contention(self):
         from repro.consensus.omega import leader_schedule

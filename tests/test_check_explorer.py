@@ -197,10 +197,14 @@ class TestExplorer:
 # ---------------------------------------------------------------------------
 class TestPmpExhaustion:
     def test_exhausts_schedule_space_with_zero_violations(self):
-        # Depth 2, no injections: ~1k schedules. The CI smoke job runs the
-        # full crash+revoke configuration (~18k schedules) via the CLI.
+        # Depth 2, no injections: ~1k schedules (classic per-op paths).
+        # The CI smoke job runs the full crash+revoke configuration
+        # (~18k schedules) via the CLI.
         report = explore(
-            make_scenario("pmp-single", {"crashes": 0, "revokes": 0}),
+            make_scenario(
+                "pmp-single",
+                {"crashes": 0, "revokes": 0, "batch_chains": False},
+            ),
             Budget(divergences=2),
         )
         assert report.exhausted
@@ -210,8 +214,29 @@ class TestPmpExhaustion:
         summary = report.summary()
         assert "exhausted" in summary and "pruned" in summary
 
+    def test_batched_chains_exhaust_with_zero_violations(self):
+        # Doorbell batching fuses the prepare into one chain per memory,
+        # shrinking the interleaving space — but the fused chains must
+        # uphold the same agreement/validity/chosen-value oracles over
+        # the whole (smaller) space.
+        report = explore(
+            make_scenario("pmp-single", {"crashes": 0, "revokes": 0}),
+            Budget(divergences=2),
+        )
+        assert report.exhausted
+        assert report.violations == 0
+        assert report.runs > 200
+
     def test_crash_and_revoke_injections_preserve_agreement(self):
         report = explore(make_scenario("pmp-single"), Budget(divergences=1))
+        assert report.exhausted
+        assert report.violations == 0
+
+    def test_crash_and_revoke_preserve_agreement_classic(self):
+        report = explore(
+            make_scenario("pmp-single", {"batch_chains": False}),
+            Budget(divergences=1),
+        )
         assert report.exhausted
         assert report.violations == 0
 
