@@ -40,6 +40,8 @@ Usage::
     python benchmarks/perf.py --check --tolerance 0.4
     python benchmarks/perf.py --obs-overhead            # zero-cost-observability
                                                         # gate: strict 2% tolerance
+    python benchmarks/perf.py --whatif-overhead         # informational: what-if
+                                                        # replay tax vs fast path
     python benchmarks/perf.py --out /tmp/now.json --baseline BENCH_kernel.json
 
 The committed baseline is machine-relative: refresh it (re-run without
@@ -264,6 +266,48 @@ WORKLOADS = {
 }
 
 
+def whatif_overhead(runs: int = 3, n_ops: int = 10_000) -> float:
+    """Informational: the replay cost of the what-if override seam.
+
+    A bare ``LatencyOverride`` prices every leg through the wrapped
+    model's constants but, being dynamic, forfeits the kernel's cached
+    fast path — this is the per-replay tax every counterfactual
+    experiment pays.  Returns the slowdown ratio (override wall /
+    constant wall) over the ``mem_op_storm`` workload; not gated, the
+    zero-cost contract only covers the *detached* configuration.
+    """
+    from repro.mem.layout import MemoryLayout
+    from repro.mem.permissions import Permission
+    from repro.mem.regions import RegionSpec
+    from repro.obs.whatif import LatencyOverride
+    from repro.sim.environment import ProcessEnv
+    from repro.sim.kernel import Kernel, SimConfig
+    from repro.types import ProcessId
+
+    def run_once(latency) -> float:
+        config = SimConfig(n_processes=3, n_memories=3)
+        if latency is not None:
+            config.latency = latency
+        kernel = Kernel(
+            config,
+            MemoryLayout([RegionSpec("r", ("x",), Permission.open(range(3)))]),
+        )
+        env = ProcessEnv(kernel, ProcessId(0))
+
+        def writer():
+            for i in range(n_ops):
+                yield from env.write(0, "r", ("x", "k"), i)
+
+        kernel.spawn(0, "writer", writer())
+        start = time.perf_counter()
+        kernel.run(until=10.0**9)
+        return time.perf_counter() - start
+
+    constant = min(run_once(None) for _ in range(runs))
+    override = min(run_once(LatencyOverride()) for _ in range(runs))
+    return override / constant
+
+
 # ----------------------------------------------------------------------
 # measurement
 # ----------------------------------------------------------------------
@@ -385,6 +429,10 @@ def main(argv=None) -> int:
                              "(default 0.25; 0.02 under --obs-overhead)")
     parser.add_argument("--runs", type=int, default=5,
                         help="runs per workload; best-of is reported (default 5)")
+    parser.add_argument("--whatif-overhead", action="store_true",
+                        help="also report the (informational, ungated) slowdown of "
+                             "replaying the memory-op storm through an identity "
+                             "what-if LatencyOverride vs the constant fast path")
     args = parser.parse_args(argv)
     if args.obs_overhead:
         args.check = True
@@ -409,6 +457,11 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "experiments": experiments,
     }
+    if args.whatif_overhead:
+        ratio = whatif_overhead(runs=args.runs)
+        report["whatif_overhead"] = ratio
+        print(f"  what-if replay overhead (identity override vs constant "
+              f"fast path): {ratio:.2f}x")
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

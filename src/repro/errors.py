@@ -50,6 +50,19 @@ class OutstandingOpError(SimulationError):
     """
 
 
+class WhatIfDivergence(SimulationError):
+    """Two replays of the same what-if experiment produced different traces.
+
+    The causal profiler's entire claim rests on determinism: an override
+    must change *delays*, never the schedule's identity, so replaying an
+    experiment must hash identically.  Raised by
+    ``WhatIfProfiler(check_determinism=True)`` when it does not — which
+    means the scenario closure leaks state between runs (shared RNG,
+    reused client ids, mutable latency model) or a kernel hook became
+    schedule-dependent.
+    """
+
+
 class SafetyViolation(ReproError):
     """An agreement/validity invariant was violated during a run."""
 

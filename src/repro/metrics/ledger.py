@@ -144,6 +144,11 @@ class MetricsLedger:
     #: (``cfg_commit``, ``fence``, ``migrate``, ``seal``, ``activate``, ...)
     #: — the epoch timeline benchmarks join against throughput and p99
     reconfig_timeline: List[FaultRecord] = field(default_factory=list)
+    #: every SLO state transition the obs SLO plane recorded
+    #: (``slo_breach`` / ``slo_recover``, subject = objective name, detail
+    #: carries the burn rates) — deterministic in virtual time, so chaos
+    #: scenarios can assert exact breach instants
+    slo_timeline: List[FaultRecord] = field(default_factory=list)
     #: shard -> committed commands, fed by the shard leader's apply path;
     #: the autoscaler differentiates this into per-shard commit rates
     shard_commits: Counter = field(default_factory=Counter)
@@ -241,6 +246,14 @@ class MetricsLedger:
     def reconfigs_of(self, kind: str) -> List[FaultRecord]:
         """All reconfiguration records of one *kind*, in execution order."""
         return [record for record in self.reconfig_timeline if record.kind == kind]
+
+    def record_slo(self, time: float, kind: str, subject: str, **detail: Any) -> None:
+        """Append one SLO state transition to the timeline."""
+        self.slo_timeline.append(FaultRecord(time, kind, subject, detail))
+
+    def slos_of(self, kind: str) -> List[FaultRecord]:
+        """All SLO records of one *kind* (``slo_breach``/``slo_recover``)."""
+        return [record for record in self.slo_timeline if record.kind == kind]
 
     def count_shard_commit(self, shard: int, commands: int = 1) -> None:
         """Credit *commands* committed entries to *shard* (leader apply)."""

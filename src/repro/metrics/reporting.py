@@ -84,6 +84,9 @@ def run_report(
         lines += _timeline_table("fault timeline", ledger.fault_timeline)
         lines.append("")
         lines += _timeline_table("reconfiguration timeline", ledger.reconfig_timeline)
+        if ledger.slo_timeline:
+            lines.append("")
+            lines += _timeline_table("slo timeline", ledger.slo_timeline)
         lines += [
             "",
             "safety",
@@ -99,6 +102,14 @@ def run_report(
         ]
 
     if obs is not None:
+        if obs.slo is not None:
+            breached = obs.slo.breached()
+            verdict = format_check(
+                f"slo objectives ({obs.slo.total_breaches()} breaches, "
+                f"{len(breached)} in breach now)",
+                not breached,
+            )
+            lines += ["", "slo plane", "---------", obs.slo.summary(), verdict]
         snapshot = obs.registry.snapshot()
         lines += ["", "metrics registry", "----------------"]
         if snapshot:

@@ -18,11 +18,36 @@ from repro.obs.critical import (
     critical_path,
     critical_path_between,
 )
+from repro.obs.diff import (
+    TraceDiff,
+    critical_delta,
+    diff_runs,
+    diff_spans,
+    format_critical_delta,
+    span_identities,
+)
 from repro.obs.flight import FlightRecorder
 from repro.obs.profiler import TaskProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import ObsRuntime, PhaseHandle, attach, detach
 from repro.obs.sinks import ChromeTraceSink, JsonlSink
+from repro.obs.slo import Objective, SloTracker
+from repro.obs.whatif import (
+    Experiment,
+    LatencyOverride,
+    Measurement,
+    ScaleIssue,
+    ScaleLink,
+    ScaleMemory,
+    ScalePhase,
+    WhatIfProfiler,
+    issue_experiment,
+    link_experiment,
+    measure,
+    memory_experiment,
+    phase_experiment,
+    run_hash,
+)
 from repro.obs.spans import (
     K_MEMOP,
     K_MSG,
@@ -39,6 +64,28 @@ __all__ = [
     "Segment",
     "critical_path",
     "critical_path_between",
+    "TraceDiff",
+    "critical_delta",
+    "diff_runs",
+    "diff_spans",
+    "format_critical_delta",
+    "span_identities",
+    "Objective",
+    "SloTracker",
+    "Experiment",
+    "LatencyOverride",
+    "Measurement",
+    "ScaleIssue",
+    "ScaleLink",
+    "ScaleMemory",
+    "ScalePhase",
+    "WhatIfProfiler",
+    "issue_experiment",
+    "link_experiment",
+    "measure",
+    "memory_experiment",
+    "phase_experiment",
+    "run_hash",
     "FlightRecorder",
     "TaskProfiler",
     "Counter",

@@ -177,13 +177,20 @@ def critical_path_between(
             segments.append(Segment(best.end, cursor, "queue", "queue", cursor - best.end))
             path.queueing += cursor - best.end
         seg_start = max(best.start, proposed_at)
+        name = best.name
         if best.kind == K_MSG:
             delays = MSG_DELAYS
             path.message_delays += delays
         else:
             delays = MEMOP_DELAYS
             path.memory_delays += delays
-        segments.append(Segment(seg_start, best.end, best.kind, best.name, delays, span=best))
+            # A fused chain is ONE span (single-completion semantics) and
+            # ONE 2-delay tile, however many sub-ops it carries; surface
+            # the count so recompositions show what the chain amortized.
+            ops = None if best.attrs is None else best.attrs.get("ops")
+            if ops is not None:
+                name = f"{name}[{ops}]"
+        segments.append(Segment(seg_start, best.end, best.kind, name, delays, span=best))
         cursor = seg_start
     segments.reverse()
     path.segments = segments

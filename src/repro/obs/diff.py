@@ -1,0 +1,205 @@
+"""Differential tracing: align two runs' span trees, attribute the delta.
+
+Two runs of the same scenario under different configurations (doorbell
+batching on vs off, a what-if override applied, a different read mode)
+produce structurally similar span forests.  This module matches spans
+across the runs by **causal identity** — the path of ``(kind, name)``
+pairs from a span's trace root down to it, plus an occurrence ordinal
+among same-path spans (assigned in creation order, which the
+deterministic kernel makes reproducible) — and then attributes the
+end-to-end latency difference span by span:
+
+* *matched* spans contribute their duration delta;
+* spans present only in one run (``only_a``/``only_b``) are the
+  structural difference — e.g. the per-op memop spans a fused chain
+  replaced with a single ``BatchOp`` span;
+* :func:`critical_delta` does the same segment-by-segment on two
+  critical-path decompositions, in the paper's delay units.
+
+The per-name aggregation (:meth:`TraceDiff.by_name`) is the usual
+reading: "where did the 4 saved delays come from?" — and the answer is
+a table, not a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.reporting import format_table
+from repro.obs.spans import Span
+
+#: a span's causal identity: ((kind, name), ...) path + occurrence ordinal
+Identity = Tuple[Tuple[Tuple[str, str], ...], int]
+
+
+def span_identities(spans: Sequence[Span]) -> Dict[int, Identity]:
+    """Assign every span its causal identity.
+
+    Parents are always created before children (span ids are allocated
+    monotonically), so one pass in id order suffices.  The occurrence
+    ordinal counts same-path spans in creation order — two identical
+    retries of the same phase get ordinals 0 and 1 and therefore match
+    their counterparts pairwise across runs.
+    """
+    identities: Dict[int, Identity] = {}
+    paths: Dict[int, Tuple[Tuple[str, str], ...]] = {}
+    occurrences: Dict[Tuple[Tuple[str, str], ...], int] = {}
+    for span in sorted(spans, key=lambda s: s.span_id):
+        parent_path = (
+            paths.get(span.parent_id, ()) if span.parent_id is not None else ()
+        )
+        path = parent_path + ((span.kind, span.name),)
+        paths[span.span_id] = path
+        ordinal = occurrences.get(path, 0)
+        occurrences[path] = ordinal + 1
+        identities[span.span_id] = (path, ordinal)
+    return identities
+
+
+@dataclass
+class SpanDelta:
+    """One causally-matched span pair and its duration delta (b - a)."""
+
+    identity: Identity
+    a: Span
+    b: Span
+
+    @property
+    def name(self) -> str:
+        return self.a.name
+
+    @property
+    def kind(self) -> str:
+        return self.a.kind
+
+    @staticmethod
+    def _duration(span: Span) -> Optional[float]:
+        return None if span.end is None else span.end - span.start
+
+    @property
+    def delta(self) -> float:
+        da, db = self._duration(self.a), self._duration(self.b)
+        if da is None or db is None:
+            return 0.0
+        return db - da
+
+
+@dataclass
+class TraceDiff:
+    """The alignment of two span sets."""
+
+    matched: List[SpanDelta] = field(default_factory=list)
+    only_a: List[Span] = field(default_factory=list)
+    only_b: List[Span] = field(default_factory=list)
+
+    @property
+    def total_delta(self) -> float:
+        """Sum of matched duration deltas (b minus a, virtual units)."""
+        return sum(pair.delta for pair in self.matched)
+
+    def by_name(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Aggregate per (kind, name): matches, delta, structural counts."""
+        out: Dict[Tuple[str, str], Dict[str, float]] = {}
+
+        def bucket(kind: str, name: str) -> Dict[str, float]:
+            return out.setdefault(
+                (kind, name),
+                {"matched": 0, "delta": 0.0, "only_a": 0, "only_b": 0},
+            )
+
+        for pair in self.matched:
+            entry = bucket(pair.kind, pair.name)
+            entry["matched"] += 1
+            entry["delta"] += pair.delta
+        for span in self.only_a:
+            bucket(span.kind, span.name)["only_a"] += 1
+        for span in self.only_b:
+            bucket(span.kind, span.name)["only_b"] += 1
+        return out
+
+    def summary(self, limit: int = 20) -> str:
+        """The attribution table, largest absolute contribution first."""
+        aggregated = self.by_name()
+        ranked = sorted(
+            aggregated.items(),
+            key=lambda kv: (
+                -(abs(kv[1]["delta"]) + kv[1]["only_a"] + kv[1]["only_b"]),
+                kv[0],
+            ),
+        )
+        rows = []
+        for (kind, name), entry in ranked[:limit]:
+            rows.append(
+                [
+                    kind,
+                    name,
+                    int(entry["matched"]),
+                    f"{entry['delta']:+g}",
+                    int(entry["only_a"]),
+                    int(entry["only_b"]),
+                ]
+            )
+        table = format_table(
+            ["kind", "name", "matched", "delta", "only a", "only b"], rows
+        )
+        head = (
+            f"trace diff: {len(self.matched)} matched spans "
+            f"(net {self.total_delta:+g} units), "
+            f"{len(self.only_a)} only in A, {len(self.only_b)} only in B"
+        )
+        if len(ranked) > limit:
+            head += f" (top {limit} of {len(ranked)} names shown)"
+        return f"{head}\n{table}"
+
+
+def diff_spans(spans_a: Sequence[Span], spans_b: Sequence[Span]) -> TraceDiff:
+    """Align two span sets by causal identity."""
+    ids_a = span_identities(spans_a)
+    ids_b = span_identities(spans_b)
+    by_identity_b: Dict[Identity, Span] = {
+        ids_b[span.span_id]: span for span in spans_b
+    }
+    diff = TraceDiff()
+    matched_b = set()
+    for span in sorted(spans_a, key=lambda s: s.span_id):
+        identity = ids_a[span.span_id]
+        other = by_identity_b.get(identity)
+        if other is None:
+            diff.only_a.append(span)
+        else:
+            matched_b.add(other.span_id)
+            diff.matched.append(SpanDelta(identity, span, other))
+    for span in sorted(spans_b, key=lambda s: s.span_id):
+        if span.span_id not in matched_b:
+            diff.only_b.append(span)
+    return diff
+
+
+def diff_runs(runtime_a, runtime_b) -> TraceDiff:
+    """Align two obs runtimes' finished spans (e.g. two what-if runs)."""
+    return diff_spans(list(runtime_a.finished), list(runtime_b.finished))
+
+
+def critical_delta(path_a, path_b) -> Dict[str, Dict[str, float]]:
+    """Per-phase delay delta between two critical-path decompositions.
+
+    Returns phase -> {"msg": .., "mem": .., "queue": ..} with B's delay
+    units minus A's — the segment-by-segment answer to "which phase paid
+    for (or funded) the difference".
+    """
+    delta: Dict[str, Dict[str, float]] = {}
+    for sign, path in ((-1.0, path_a), (+1.0, path_b)):
+        for phase, buckets in path.phase_delays().items():
+            entry = delta.setdefault(phase, {"msg": 0.0, "mem": 0.0, "queue": 0.0})
+            for key, value in buckets.items():
+                entry[key] += sign * value
+    return delta
+
+
+def format_critical_delta(delta: Dict[str, Dict[str, float]]) -> str:
+    rows = [
+        [phase, f"{entry['msg']:+g}", f"{entry['mem']:+g}", f"{entry['queue']:+g}"]
+        for phase, entry in sorted(delta.items())
+    ]
+    return format_table(["phase", "msg delta", "mem delta", "queue delta"], rows)

@@ -36,13 +36,23 @@ class FlightRecorder:
         self.dumps: List[Dict[str, Any]] = []
         #: supplier of currently-open spans, wired by the runtime
         self._open_supplier = None
+        #: supplier of extra trip-time context (metrics registry snapshot,
+        #: SLO/burn-rate state) merged into the dump — self-containment
+        self._context_supplier = None
 
     def record(self, span: Span) -> None:
         self.ring.append(span)
 
-    def wire(self, open_supplier) -> None:
-        """Install the runtime's live-span supplier (called on attach)."""
+    def wire(self, open_supplier, context_supplier=None) -> None:
+        """Install the runtime's live-span supplier (called on attach).
+
+        *context_supplier*, when given, is called at trip time and must
+        return a dict of extra top-level dump entries (the runtime passes
+        its metrics-registry and SLO snapshots), so a dump explains the
+        run's state without the run.
+        """
         self._open_supplier = open_supplier
+        self._context_supplier = context_supplier
 
     def trip(self, reason: str, now: float) -> Dict[str, Any]:
         """Snapshot the ring + open spans; write to :attr:`path` if set."""
@@ -53,6 +63,8 @@ class FlightRecorder:
             "recent": [span.to_dict() for span in self.ring],
             "open": [span.to_dict() for span in open_spans],
         }
+        if self._context_supplier is not None:
+            dump.update(self._context_supplier())
         self.dumps.append(dump)
         if self.path is not None:
             with open(self.path, "w", encoding="utf-8") as handle:

@@ -34,9 +34,15 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time level, with a bounded sample series."""
+    """A point-in-time level, with a bounded sample series.
 
-    __slots__ = ("name", "labels", "value", "series")
+    The series is a ring like the ledger's ``LatencyWindow``: at most
+    ``bound`` samples are retained (newest win) while ``total`` counts
+    every sample ever taken, so ``dropped`` says how much of a long
+    SLO-window run scrolled out — a gauge never grows without limit.
+    """
+
+    __slots__ = ("name", "labels", "value", "series", "total", "bound")
 
     def __init__(
         self,
@@ -44,10 +50,19 @@ class Gauge:
         labels: Tuple[Tuple[str, Any], ...],
         bound: int = DEFAULT_SERIES_BOUND,
     ) -> None:
+        if bound < 1:
+            raise ValueError("gauge series bound must be >= 1")
         self.name = name
         self.labels = labels
         self.value: float = 0.0
         self.series: deque = deque(maxlen=bound)
+        self.total = 0
+        self.bound = bound
+
+    @property
+    def dropped(self) -> int:
+        """Samples that scrolled out of the bounded series ring."""
+        return self.total - len(self.series)
 
     def set(self, value: float) -> None:
         self.value = value
@@ -56,6 +71,7 @@ class Gauge:
         """Set *value* and append it to the time series (ticker path)."""
         self.value = value
         self.series.append((now, value))
+        self.total += 1
 
 
 class Histogram:
@@ -106,7 +122,8 @@ def _label_key(name: str, labels: Dict[str, Any]) -> LabelKey:
 class MetricsRegistry:
     """Interned counters/gauges/histograms, addressable by name + labels."""
 
-    def __init__(self) -> None:
+    def __init__(self, series_bound: int = DEFAULT_SERIES_BOUND) -> None:
+        self.series_bound = series_bound
         self._counters: Dict[LabelKey, Counter] = {}
         self._gauges: Dict[LabelKey, Gauge] = {}
         self._histograms: Dict[LabelKey, Histogram] = {}
@@ -122,14 +139,14 @@ class MetricsRegistry:
         key = _label_key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, key[1])
+            instrument = self._gauges[key] = Gauge(name, key[1], self.series_bound)
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         key = _label_key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, key[1])
+            instrument = self._histograms[key] = Histogram(name, key[1], self.series_bound)
         return instrument
 
     # ------------------------------------------------------------------

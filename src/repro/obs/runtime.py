@@ -79,15 +79,20 @@ class ObsRuntime:
         profile: bool = True,
         flight_capacity: int = 512,
         flight_path: Optional[str] = None,
+        series_bound: Optional[int] = None,
     ) -> None:
         self.kernel = kernel
         self.finished: deque = deque(maxlen=max_spans)
         self.dropped = 0
         self.max_spans = max_spans
-        self.registry = MetricsRegistry()
+        self.registry = (
+            MetricsRegistry() if series_bound is None else MetricsRegistry(series_bound)
+        )
         self.profiler: Optional[TaskProfiler] = TaskProfiler() if profile else None
+        #: SLO tracker installed by :meth:`track_slo`, or None
+        self.slo: Optional[Any] = None
         self.flight = FlightRecorder(flight_capacity, flight_path)
-        self.flight.wire(self.open_spans)
+        self.flight.wire(self.open_spans, self._flight_context)
         self.sinks: List[Any] = []
         self.current_task = None
         #: (pid, instance) -> (decided_at, trace_id) for the analyzer
@@ -146,6 +151,10 @@ class ObsRuntime:
         return list(self._open.values())
 
     def add_sink(self, sink) -> None:
+        # Sinks that can render registry instruments (Perfetto counter
+        # tracks) but were built without a registry get this runtime's.
+        if getattr(sink, "registry", False) is None:
+            sink.registry = self.registry
         self.sinks.append(sink)
 
     def close(self) -> None:
@@ -207,6 +216,10 @@ class ObsRuntime:
         sub_ops = getattr(op, "ops", None)
         if sub_ops is not None:
             attrs["ops"] = len(sub_ops)
+        if type(key) is tuple and len(key) == 3:
+            # Fan-out leg: tag the shared flow id (task.token) so sinks can
+            # link every issued leg to the single-completion verdict.
+            attrs["flow"] = f"{key[0]}.{key[1]}"
         span = self._start(
             type(op).__name__,
             K_MEMOP,
@@ -216,6 +229,29 @@ class ObsRuntime:
             now,
         )
         self._op_spans[key] = span
+
+    def fanout_verdict(self, task, state, now: float) -> None:
+        """Record the single-completion verdict of an op fan-out.
+
+        Fired by the kernel the moment a fan-out's quorum rule is
+        satisfied (before the task wakes).  The point span carries the
+        same ``flow`` id as the issued legs, closing the causal link
+        issue -> verdict in trace viewers.
+        """
+        span = self._start(
+            "fanout.verdict",
+            K_POINT,
+            task.label,
+            task.ctx,
+            {
+                "flow": f"{task.task_id}.{state.token}",
+                "acked": state.acked,
+                "naked": state.naked,
+                "done": state.done,
+            },
+            now,
+        )
+        self._finish(span, now)
 
     def op_resolved(self, key, now: float, status: str) -> None:
         span = self._op_spans.pop(key, None)
@@ -269,6 +305,25 @@ class ObsRuntime:
         self._finish(span, self.kernel.now)
         return span
 
+    def enclosing_phases(self, task) -> List[str]:
+        """Names of the open phase spans enclosing *task*'s context.
+
+        Innermost first.  The walk follows ``parent_id`` links through the
+        open-span table, so it stops at the first finished ancestor —
+        what-if phase matching (``ScalePhase``) deliberately sees only
+        phases that are still in progress at pricing time.
+        """
+        names: List[str] = []
+        span = task.ctx
+        depth = 0
+        while span is not None and depth < 64:
+            if span.kind == K_PHASE and span.end is None:
+                names.append(span.name)
+            parent = span.parent_id
+            span = None if parent is None else self._open.get(parent)
+            depth += 1
+        return names
+
     def proposed(self, pid, now: float) -> None:
         self.point("propose", pid=int(pid))
 
@@ -291,9 +346,16 @@ class ObsRuntime:
         self._sample_until = until
         self._tick()
 
+    @property
+    def sampling(self) -> bool:
+        """True once :meth:`start_sampling` armed the ticker."""
+        return self._sample_interval is not None
+
     def _tick(self) -> None:
         kernel = self.kernel
         self.sample_now()
+        if self.slo is not None:
+            self.slo.evaluate(kernel.now)
         interval = self._sample_interval
         if interval is None:
             return
@@ -323,10 +385,40 @@ class ObsRuntime:
         gauge("reconfig.keys_moved").sample(now, moved)
 
     # ------------------------------------------------------------------
+    # SLO plane (see repro.obs.slo)
+    # ------------------------------------------------------------------
+    def track_slo(self, objectives, interval: Optional[float] = None, until: Optional[float] = None):
+        """Install an SLO tracker evaluating *objectives* on the ticker.
+
+        Objectives are :class:`repro.obs.slo.Objective` declarations;
+        evaluation happens on every sampling tick (burn rates are
+        windowed in *virtual* time, so the ticker must be running — pass
+        *interval* to arm it here, or call :meth:`start_sampling`
+        yourself).  Returns the tracker (also at :attr:`slo`).
+        """
+        from repro.obs.slo import SloTracker
+
+        if self.slo is None:
+            self.slo = SloTracker(self, objectives)
+        else:
+            self.slo.add(objectives)
+        if interval is not None and not self.sampling:
+            self.start_sampling(interval, until=until)
+        return self.slo
+
+    # ------------------------------------------------------------------
     # violation tripwire (registered with the metrics ledger on attach)
     # ------------------------------------------------------------------
     def _on_violation(self, description: str) -> None:
         self.flight.trip(description, self.kernel.now)
+
+    def _flight_context(self) -> Dict[str, Any]:
+        """Registry + SLO state included in flight-recorder dumps, so a
+        violation dump is self-contained (no live runtime needed)."""
+        context: Dict[str, Any] = {"metrics": self.registry.snapshot()}
+        if self.slo is not None:
+            context["slo"] = self.slo.snapshot()
+        return context
 
 
 def attach(
@@ -336,6 +428,7 @@ def attach(
     profile: bool = True,
     flight_capacity: int = 512,
     flight_path: Optional[str] = None,
+    series_bound: Optional[int] = None,
 ) -> ObsRuntime:
     """Attach an observability runtime to *kernel* and return it.
 
@@ -350,6 +443,7 @@ def attach(
         profile=profile,
         flight_capacity=flight_capacity,
         flight_path=flight_path,
+        series_bound=series_bound,
     )
     kernel.obs = runtime
     kernel.metrics.violation_hooks.append(runtime._on_violation)

@@ -48,17 +48,31 @@ class ChromeTraceSink:
 
     The JSON array is streamed open; :meth:`close` terminates it.  Perfetto
     tolerates an unterminated array, so even a crashed run's file loads.
+
+    Two causal extras beyond plain duration events:
+
+    * spans carrying a ``flow`` attribute (fan-out legs and the
+      ``fanout.verdict`` point the kernel emits when a single-completion
+      quorum fires) are linked with flow events (``s``/``t``/``f``), so a
+      fused chain renders as arrows from every issued leg into the one
+      verdict that resumed the task;
+    * when a :class:`~repro.obs.registry.MetricsRegistry` is wired (pass
+      it here, or ``runtime.add_sink`` wires its own), every gauge series
+      is emitted as a Perfetto counter track (``C`` events) at close.
     """
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    def __init__(self, target: Union[str, IO[str]], registry=None) -> None:
         if isinstance(target, str):
             self._file: IO[str] = open(target, "w", encoding="utf-8")
             self._owns = True
         else:
             self._file = target
             self._owns = False
+        #: gauge source for counter tracks (None: wired by add_sink)
+        self.registry = registry
         self._file.write("[\n")
         self._first = True
+        self._flows_started: set = set()
 
     @staticmethod
     def _lanes(span: Span) -> tuple:
@@ -85,11 +99,64 @@ class ChromeTraceSink:
         if span.attrs:
             event["args"] = {k: repr(v) for k, v in span.attrs.items()}
         event["args"] = {**event.get("args", {}), "trace": span.trace_id, "span": span.span_id}
+        self._write(event)
+        flow = None if span.attrs is None else span.attrs.get("flow")
+        if flow is not None:
+            self._emit_flow(span, process, thread, str(flow))
+
+    def _write(self, event: dict) -> None:
         prefix = "" if self._first else ",\n"
         self._first = False
         self._file.write(prefix + json.dumps(event))
 
+    def _emit_flow(self, span: Span, process: str, thread, flow: str) -> None:
+        """One flow-event arrow node per flow-tagged span.
+
+        The first issued leg of a fan-out starts the flow (``s``), later
+        legs are steps (``t``), and the ``fanout.verdict`` point finishes
+        it (``f``) — Perfetto then draws issue -> verdict arrows.
+        """
+        if span.name == "fanout.verdict":
+            phase, ts = "f", span.start
+        elif flow in self._flows_started:
+            phase, ts = "t", span.end if span.end is not None else span.start
+        else:
+            self._flows_started.add(flow)
+            phase, ts = "s", span.start
+        event = {
+            "name": "fanout",
+            "cat": "flow",
+            "ph": phase,
+            "id": flow,
+            "pid": process,
+            "tid": thread,
+            "ts": ts * US_PER_UNIT,
+        }
+        if phase == "f":
+            event["bp"] = "e"
+        self._write(event)
+
+    def _emit_counters(self) -> None:
+        """Perfetto counter tracks: one ``C`` event per gauge sample."""
+        if self.registry is None:
+            return
+        for gauge in self.registry.gauges():
+            labels = ",".join(f"{k}={v}" for k, v in gauge.labels)
+            name = f"{gauge.name}{{{labels}}}" if labels else gauge.name
+            for now, value in gauge.series:
+                self._write(
+                    {
+                        "name": name,
+                        "cat": "metrics",
+                        "ph": "C",
+                        "pid": "metrics",
+                        "ts": now * US_PER_UNIT,
+                        "args": {"value": value},
+                    }
+                )
+
     def close(self) -> None:
+        self._emit_counters()
         self._file.write("\n]\n")
         self._file.flush()
         if self._owns:

@@ -609,8 +609,14 @@ class ElasticKV(ShardedKV):
         while True:
             yield env.sleep(policy.config.interval)
             busy = self._state.has_pending() or bool(self._cfg_queue)
+            obs = self.kernel.obs
+            pressure = (
+                obs.slo.pressure()
+                if obs is not None and obs.slo is not None
+                else None
+            )
             for proposal in policy.observe(
-                env.now, self.kernel.metrics, self.shards, busy
+                env.now, self.kernel.metrics, self.shards, busy, pressure
             ):
                 try:
                     self.propose_reconfig(proposal)

@@ -100,6 +100,14 @@ class ShardConfig:
     #: writers require the batched readers' confirmation rule, so writers
     #: and readers must flip together.
     batch_chains: bool = True
+    #: declarative SLOs (:class:`repro.obs.slo.Objective`) evaluated on the
+    #: obs runtime's virtual-time ticker.  Only active when an obs runtime
+    #: is attached before ``run_workload`` — without one the service keeps
+    #: its zero-observability cost and the objectives are inert.
+    slo: Tuple[Any, ...] = ()
+    #: burn-rate evaluation period (virtual units) when ``slo`` arms the
+    #: sampling ticker itself
+    slo_interval: float = 25.0
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -121,6 +129,15 @@ class ShardConfig:
             )
         if self.read_attempts < 1:
             raise ConfigurationError("read_attempts must be >= 1")
+        if self.slo_interval <= 0:
+            raise ConfigurationError("slo_interval must be > 0")
+        for objective in self.slo:
+            shard = getattr(objective, "shard", None)
+            if shard is not None and not 0 <= shard < self.n_shards:
+                raise ConfigurationError(
+                    f"objective {objective.name!r} scopes shard {shard}, "
+                    f"but the service has {self.n_shards}"
+                )
 
     @property
     def read_paths_enabled(self) -> bool:
@@ -919,6 +936,16 @@ class ShardedKV:
         self._used_client_ids.update(ids)
         total = sum(client.n_ops for client in clients)
         started_at = self.kernel.now
+        # Arm the SLO plane: objectives declared on the config become live
+        # the moment an obs runtime is attached (and stay inert otherwise,
+        # preserving the zero-cost-when-detached contract).
+        obs = self.kernel.obs
+        if obs is not None and self.config.slo:
+            if obs.slo is None:
+                obs.track_slo(self.config.slo)
+            if not obs.sampling:
+                horizon = deadline if deadline is not None else self.config.deadline
+                obs.start_sampling(self.config.slo_interval, until=horizon)
         # Baselines capture the leader MACHINE, not just counters: a shard
         # merged away mid-run keeps its machine (and its committed work
         # must still be reported) even after the topology forgets it.

@@ -229,6 +229,7 @@ class Kernel:
         self._req_delay: Optional[float] = latency.constant_request_delay
         self._resp_delay: Optional[float] = latency.constant_response_delay
         self._issue_delay: Optional[float] = latency.constant_issue_delay
+        latency.bind(self)
         # Static config and ledger references hoisted off the per-event path.
         # links_enabled and strict_outstanding are NOT hoisted: callers
         # toggle both on the config post-init (e.g. the disk-model cluster).
@@ -264,6 +265,24 @@ class Kernel:
             self._fx_op,         # FX_BATCH_OP (chains share the fused-op path)
             self._fx_op_fanout,  # FX_OP_FANOUT
         ]
+
+    def set_latency(self, latency) -> None:
+        """Swap the latency model, invalidating the cached constants.
+
+        The constructor caches the model's ``constant_*`` delays so the
+        hot path can skip method dispatch; installing a model after
+        construction (what-if counterfactuals wrapping the baseline in a
+        :class:`~repro.obs.whatif.LatencyOverride`) must re-derive them or
+        the kernel would silently keep pricing with the old model.  Also
+        re-runs :meth:`LatencyModel.bind` so state-dependent models pick
+        up this kernel.
+        """
+        self.config.latency = latency
+        self._msg_delay = latency.constant_message_delay
+        self._req_delay = latency.constant_request_delay
+        self._resp_delay = latency.constant_response_delay
+        self._issue_delay = latency.constant_issue_delay
+        latency.bind(self)
 
     # ------------------------------------------------------------------
     # task management
@@ -703,6 +722,8 @@ class Kernel:
             verdict = state.done >= state.need
         if verdict:
             state.fired = True
+            if self.obs is not None:
+                self.obs.fanout_verdict(task, state, self.now)
             self._wake(task, state.token, state)
 
     # ------------------------------------------------------------------
@@ -1032,11 +1053,15 @@ class Kernel:
         that adopt a watermark and the entries it covers from ONE snapshot
         rely on this; under jittered/adversarial models it is False and
         callers fall back to sequential rounds."""
-        return (
+        if (
             self._req_delay is not None
             and self._resp_delay is not None
             and self._issue_delay is not None
-        )
+        ):
+            return True
+        # Dynamic models may still promise order preservation explicitly
+        # (e.g. a what-if override scaling a constant base per component).
+        return self.config.latency.fifo_memory_ops
 
     def correct_processes(self) -> List[ProcessId]:
         return [

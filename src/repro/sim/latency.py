@@ -46,6 +46,15 @@ class LatencyModel:
     #: ``memory_issue_delay`` must be called (see below)
     constant_issue_delay: Optional[float] = 0.0
 
+    #: a *dynamic* model may still promise the FIFO queue-pair property
+    #: (two ops posted to one memory in order arrive — and apply — in that
+    #: order) by setting this True.  The kernel's ``fifo_memory_ops``
+    #: check consults it when any constant is None; constant models get
+    #: FIFO for free.  ``LatencyOverride`` (repro.obs.whatif) sets it when
+    #: its per-component scaling is order-preserving, so counterfactual
+    #: replays keep the same fused-read code paths as the baseline run.
+    fifo_memory_ops: bool = False
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         # Self-enforcing constant contract: a subclass that overrides a
@@ -60,6 +69,17 @@ class LatencyModel:
         ):
             if method in cls.__dict__ and constant not in cls.__dict__:
                 setattr(cls, constant, None)
+
+    def bind(self, kernel) -> None:
+        """Hook called when a kernel adopts this model.
+
+        Runs once from ``Kernel.__init__`` and again from
+        ``Kernel.set_latency`` when a model is swapped in mid-assembly.
+        Models that price by *simulation state* rather than by arguments —
+        the what-if :class:`~repro.obs.whatif.LatencyOverride` matches
+        open phase spans through ``kernel.obs`` — grab their kernel
+        reference here.  The default is a no-op.
+        """
 
     def message_delay(
         self, src: ProcessId, dst: ProcessId, now: float, rng: random.Random

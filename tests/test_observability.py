@@ -20,6 +20,7 @@ from repro.errors import AgreementViolation, StalenessViolation
 from repro.metrics.reporting import run_report
 from repro.obs import (
     ChromeTraceSink,
+    Span,
     JsonlSink,
     K_MEMOP,
     K_MSG,
@@ -553,3 +554,184 @@ class TestRunReport:
     def test_report_sections_are_optional(self):
         text = run_report(ledger=make_kernel().metrics)
         assert "fault timeline" in text and "workload" not in text
+
+
+# ----------------------------------------------------------------------
+# critical-path edge cases: crashed memories, fused chains, empty traces
+# ----------------------------------------------------------------------
+def _span(span_id, name, kind, start, end, trace_id=1, attrs=None):
+    span = Span(span_id, None, trace_id, name, kind, "p0", start, attrs)
+    span.end = end
+    return span
+
+
+class TestCriticalPathEdges:
+    def test_empty_trace_is_pure_queueing(self):
+        path = critical_path_between([], 0, proposed_at=2.0, decided_at=9.0)
+        assert path.queueing == pytest.approx(7.0)
+        assert path.message_delays == 0 and path.memory_delays == 0
+        assert len(path.segments) == 1
+
+    def test_open_span_from_crashed_memory_is_excluded(self):
+        # A memory that crashed mid-operation leaves its span open
+        # (end=None); the analyzer must not try to walk through it —
+        # the window degrades to queueing instead of crashing.
+        hung = Span(1, None, 1, "WriteOp", K_MEMOP, "p0", 1.0)
+        assert hung.end is None
+        path = critical_path_between([hung], 0, proposed_at=0.0, decided_at=6.0)
+        assert path.memory_delays == 0
+        assert path.queueing == pytest.approx(6.0)
+
+    def test_fused_chain_span_is_one_tile_with_op_count(self):
+        # single-completion semantics: a chain of 3 WRs is ONE span and
+        # ONE 2-delay tile, annotated with what it amortized
+        chain = _span(1, "BatchOp", K_MEMOP, 1.0, 3.0, attrs={"ops": 3})
+        path = critical_path_between([chain], 0, proposed_at=1.0, decided_at=3.0)
+        assert path.memory_delays == 2
+        (segment,) = path.segments
+        assert segment.name == "BatchOp[3]"
+
+    def test_queueing_never_negative(self):
+        # overlapping spans that extend past both window edges must not
+        # produce negative gaps
+        spans = [
+            _span(1, "m", K_MSG, -1.0, 2.0),
+            _span(2, "w", K_MEMOP, 1.5, 4.0),
+        ]
+        path = critical_path_between(spans, 0, proposed_at=0.0, decided_at=4.0)
+        assert path.queueing >= 0.0
+        assert all(s.end >= s.start for s in path.segments)
+
+    def test_chain_annotation_survives_real_batched_run(self):
+        from repro.consensus.protected_memory_paxos import PmpConfig
+
+        cluster, runtime = traced_cluster(
+            ProtectedMemoryPaxos(PmpConfig(skip_first_attempt=False, batch_chains=True))
+        )
+        cluster.run(["a", "b", "c"])
+        path = critical_path(runtime, ProcessId(0))
+        labels = [s.name for s in path.segments]
+        assert any("[" in label for label in labels if label != "queue")
+
+
+# ----------------------------------------------------------------------
+# gauge ring bound + dropped counter (obs under long SLO windows)
+# ----------------------------------------------------------------------
+class TestGaugeRing:
+    def test_dropped_counts_scrolled_samples(self):
+        registry = MetricsRegistry(series_bound=8)
+        g = registry.gauge("depth")
+        for i in range(20):
+            g.sample(float(i), float(i))
+        assert len(g.series) == 8
+        assert g.total == 20
+        assert g.dropped == 12
+        # newest samples win
+        assert [v for _t, v in g.series] == [float(i) for i in range(12, 20)]
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(series_bound=0).gauge("x")
+
+    def test_attach_threads_series_bound(self, kernel):
+        runtime = attach(kernel, series_bound=4)
+        g = runtime.registry.gauge("x")
+        for i in range(10):
+            g.sample(float(i), float(i))
+        assert len(g.series) == 4 and g.dropped == 6
+
+
+# ----------------------------------------------------------------------
+# flight dumps carry the metrics + SLO state of the run
+# ----------------------------------------------------------------------
+class TestFlightContext:
+    def test_dump_includes_registry_and_slo_snapshots(self):
+        from repro.obs.slo import Objective
+
+        cluster, runtime = traced_cluster(ProtectedMemoryPaxos())
+        runtime.track_slo([Objective("lat", latency_budget=50.0)])
+        cluster.run(["a", "b", "c"])
+        dump = runtime.flight.trip("test", cluster.kernel.now)
+        assert "metrics" in dump
+        assert "slo" in dump
+        assert dump["slo"]["objectives"][0]["name"] == "lat"
+
+    def test_dump_without_slo_still_has_metrics(self):
+        cluster, runtime = traced_cluster(ProtectedMemoryPaxos())
+        cluster.run(["a", "b", "c"])
+        dump = runtime.flight.trip("test", cluster.kernel.now)
+        assert "metrics" in dump and "slo" not in dump
+
+
+# ----------------------------------------------------------------------
+# chrome sink: counter tracks and fan-out flow arrows
+# ----------------------------------------------------------------------
+class TestChromeFlowsAndCounters:
+    def _batched_trace(self):
+        from repro.consensus.protected_memory_paxos import PmpConfig
+
+        buf = io.StringIO()
+        cluster, runtime = traced_cluster(
+            ProtectedMemoryPaxos(PmpConfig(batch_chains=True))
+        )
+        runtime.add_sink(ChromeTraceSink(buf))
+        runtime.start_sampling(5.0, until=30.0)
+        cluster.run(["a", "b", "c"])
+        runtime.close()
+        return json.loads(buf.getvalue())
+
+    def test_gauges_become_counter_tracks(self):
+        events = self._batched_trace()
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert all(e["pid"] == "metrics" and "value" in e["args"] for e in counters)
+        assert any(e["name"] == "kernel.queue_depth" for e in counters)
+
+    def test_fanout_legs_flow_into_the_verdict(self):
+        events = self._batched_trace()
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert starts and finishes
+        # every flow id that finishes was started
+        started_ids = {e["id"] for e in starts}
+        assert all(e["id"] in started_ids for e in finishes)
+        # the verdict binds at its enclosing slice's start
+        assert all(e.get("bp") == "e" for e in finishes)
+
+
+# ----------------------------------------------------------------------
+# kernel fan-out verdict point + latency hot-swap
+# ----------------------------------------------------------------------
+class TestKernelObsSeams:
+    def test_single_completion_emits_verdict_span(self):
+        from repro.consensus.protected_memory_paxos import PmpConfig
+
+        cluster, runtime = traced_cluster(
+            ProtectedMemoryPaxos(PmpConfig(batch_chains=True))
+        )
+        cluster.run(["a", "b", "c"])
+        verdicts = [s for s in runtime.spans if s.name == "fanout.verdict"]
+        assert verdicts
+        for span in verdicts:
+            assert span.attrs["acked"] >= 0
+            assert "flow" in span.attrs
+
+    def test_set_latency_recaches_constants(self, kernel):
+        from repro.sim.latency import JitteredSynchrony, NominalLatency
+
+        assert kernel._msg_delay == 1.0
+        assert kernel.fifo_memory_ops
+        kernel.set_latency(JitteredSynchrony())
+        assert kernel._msg_delay is None
+        assert not kernel.fifo_memory_ops
+        kernel.set_latency(NominalLatency())
+        assert kernel._msg_delay == 1.0
+        assert kernel.fifo_memory_ops
+
+    def test_dynamic_model_can_promise_fifo(self, kernel):
+        from repro.sim.latency import JitteredSynchrony
+
+        model = JitteredSynchrony()
+        model.fifo_memory_ops = True
+        kernel.set_latency(model)
+        assert kernel.fifo_memory_ops
