@@ -16,7 +16,16 @@ Measures the simulator's hot-path throughput on five workloads and emits
   the full stack the kernel exists to carry;
 * ``e18_read_paths``  — the E18 read-plane workload: 95%-read Zipfian
   served by one-sided quorum reads (2 shards), tracking the whole read
-  plane from watermark publication to floor-filtered snapshots.
+  plane from watermark publication to floor-filtered snapshots;
+* ``e19_parallel_scaleout`` — the partitioned multi-core matrix: 8
+  gateway-fronted service cells x 4 shards (32 consensus-backed shards)
+  plus 10k single-shot remote clients in 4 client cells, run under the
+  conservative-barrier :class:`~repro.sim.parallel.ParallelKernel` at
+  W in {1, 2, 4, 8}; asserts the cross-worker determinism contract
+  (per-cell trace hashes and final KV digests identical for every W)
+  and records the critical-path projected speedup per worker count.
+  Informational (``"gated": false``): the projection is not a
+  wall-clock noise floor, so the regression gate skips it.
 
 Two throughput figures are reported per workload:
 
@@ -43,9 +52,16 @@ Usage::
     python benchmarks/perf.py --whatif-overhead         # informational: what-if
                                                         # replay tax vs fast path
     python benchmarks/perf.py --out /tmp/now.json --baseline BENCH_kernel.json
+    python benchmarks/perf.py --only e19 --smoke    # CI parallel smoke: shrunken
+                                                    # scale-out matrix only
 
 The committed baseline is machine-relative: refresh it (re-run without
 ``--check`` and commit the JSON) when the reference hardware changes.
+``--check`` compares the baseline's recorded ``platform``/``python``
+against the current host first; on a mismatch, regressions are reported
+as warnings rather than failures — a borrowed laptop should never flag
+the kernel.  Current-run reports land under ``benchmarks/out/`` (never
+committed), so the committed baseline cannot be clobbered by a check.
 """
 
 from __future__ import annotations
@@ -257,13 +273,218 @@ def _run_e18_read_paths(n_clients: int = 96, ops_per_client: int = 25, seed: int
     return wall, _service_stats(service, report)
 
 
+def _run_e19_parallel_scaleout(smoke: bool = False):
+    """E19: the partitioned multi-core scale-out matrix.
+
+    Builds the full cell layout once per worker count W — gateway-fronted
+    :class:`ShardedKV` service cells plus bare client cells routed by a
+    consistent ring over cell ids — and runs it to completion under the
+    conservative-barrier coordinator.  Hard-asserts the determinism
+    contract at every W (identical per-cell trace hashes via the combined
+    hash, identical final KV digests, every client completed), then
+    reports the critical-path projected speedup per W.  The returned wall
+    is the W=1 run: the sequential-equivalent figure, comparable across
+    engine versions like every other workload's.
+    """
+    from repro.shard import OperationMix, ShardConfig, ShardedKV, UniformKeys
+    from repro.shard.gateway import (
+        CellRouter,
+        RemoteClient,
+        client_cell_factory,
+        service_cell_factory,
+    )
+    from repro.sim.parallel import ParallelKernel
+
+    from repro.shard.partitioner import WorkerAssignment
+
+    if smoke:
+        n_service_cells, shards_per_cell = 4, 2
+        n_client_cells, n_clients = 2, 400
+        worker_counts = (1, 4)
+    else:
+        n_service_cells, shards_per_cell = 8, 4
+        n_client_cells, n_clients = 8, 10_000
+        worker_counts = (1, 2, 4, 8)
+    seed = 23
+    # client-side cost of a request (send, park, resume) relative to the
+    # service-side cost (gateway, consensus, apply): measured ~1:3 on the
+    # reference host; only the ratio's rough magnitude matters to packing
+    client_cost_ratio = 0.35
+    service_cells = list(range(n_service_cells))
+    router = CellRouter(service_cells)
+    mix = OperationMix(read_fraction=0.5)
+    keys = UniformKeys(4096)
+    per_cell = n_clients // n_client_cells
+
+    def make_service(cell):
+        return lambda: ShardedKV(
+            ShardConfig(
+                n_shards=shards_per_cell, batch_max=8, seed=seed + cell,
+                deadline=10.0**7,
+            )
+        )
+
+    def make_clients(base):
+        def build():
+            # one op per client: 10k concurrent single-shot requests is
+            # the fan-in shape that stresses the fabric merge, and the
+            # huge retry timeout keeps the closed loop resend-free even
+            # when every request lands in the same barrier round
+            return [
+                RemoteClient(
+                    client_id=base + i, n_ops=1, keys=keys, mix=mix,
+                    route=router.cell_for, pid=i % 16,
+                    retry_timeout=50_000.0,
+                )
+                for i in range(per_cell)
+            ]
+
+        return build
+
+    factories = [
+        service_cell_factory(cell, make_service(cell)) for cell in service_cells
+    ]
+    for index in range(n_client_cells):
+        cell_id = n_service_cells + index
+        factories.append(
+            client_cell_factory(
+                cell_id, make_clients(index * per_cell),
+                n_processes=16, seed=1000 + cell_id,
+            )
+        )
+
+    # ring-aware packing: a service cell's weight is its arc share of the
+    # cell ring (= its expected request volume), client cells carry their
+    # client count scaled by the measured per-request cost ratio
+    n_cells = n_service_cells + n_client_cells
+    arcs = router.weights()
+    cell_weights = {cell: arcs[cell] * n_service_cells for cell in service_cells}
+    for index in range(n_client_cells):
+        cell_weights[n_service_cells + index] = (
+            client_cost_ratio * n_service_cells / n_client_cells
+        )
+
+    scaleout = {}
+    reference = None
+    reference_digests = None
+    w1 = None
+    for w in worker_counts:
+        assignment = WorkerAssignment(range(n_cells), w)
+        assignment.set_weights(cell_weights)
+        engine = ParallelKernel(
+            factories, workers=w, mode="inline", assignment=assignment
+        )
+        # collector pauses land inside whichever worker slice is running
+        # and skew the per-round max; park the GC for the measured span
+        import gc
+
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = engine.run()
+            wall = time.perf_counter() - start
+        finally:
+            gc.enable()
+        assert result.goal_met, f"W={w}: cells did not reach their goals"
+        report = engine.run_report()
+        digests = {
+            cell: summary["summary"]["kv_digest"]
+            for cell, summary in report["cells"].items()
+            if summary["summary"] and "kv_digest" in summary["summary"]
+        }
+        if reference is None:
+            reference, reference_digests = report, digests
+            completed = sum(
+                s["summary"]["completed"]
+                for s in report["cells"].values()
+                if s["summary"] and "completed" in s["summary"]
+            )
+            assert completed == n_clients, completed
+            w1 = wall
+        else:
+            assert report["combined_hash"] == reference["combined_hash"], (
+                f"W={w}: trace hashes diverged from W={worker_counts[0]}"
+            )
+            assert digests == reference_digests, (
+                f"W={w}: final KV state diverged from W={worker_counts[0]}"
+            )
+        scaleout[str(w)] = {
+            "wall_s": round(wall, 6),
+            "rounds": result.rounds,
+            "projected_speedup": round(result.projected_speedup, 3),
+            "total_busy_s": round(result.total_busy, 6),
+            "critical_path_s": round(result.critical_path, 6),
+            "coordinator_s": round(result.coordinator_wall, 6),
+        }
+        print(
+            f"    W={w}: {wall:.3f}s wall, {result.rounds} rounds, "
+            f"projected {result.projected_speedup:.2f}x "
+            f"(critical {result.critical_path:.3f}s of "
+            f"{result.total_busy:.3f}s busy)"
+        )
+
+    totals = reference["totals"]
+    commits = sum(
+        sum(s["summary"]["commits"].values())
+        for s in reference["cells"].values()
+        if s["summary"] and "commits" in s["summary"]
+    )
+    out_dir = REPO_ROOT / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "schema": "repro-parallel-report/1",
+        "smoke": smoke,
+        "workload": {
+            "service_cells": n_service_cells,
+            "shards_per_cell": shards_per_cell,
+            "client_cells": n_client_cells,
+            "clients": n_clients,
+            "worker_counts": list(worker_counts),
+        },
+        "combined_hash": reference["combined_hash"],
+        "kv_digests": reference_digests,
+        "totals": totals,
+        "projection": "critical-path",
+        "scaleout": scaleout,
+    }
+    (out_dir / "parallel_report.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+    return w1, {
+        "events": totals["events"],
+        "sim_events": totals["sim_events"],
+        "commits": commits,
+        "extra": {
+            "gated": False,
+            "projection": "critical-path",
+            "cells": n_service_cells + n_client_cells,
+            "shards": n_service_cells * shards_per_cell,
+            "clients": n_clients,
+            "crossed": totals["crossed"],
+            "combined_hash": reference["combined_hash"][:16],
+            "scaleout": scaleout,
+            "speedup_w4": scaleout.get("4", {}).get("projected_speedup"),
+        },
+    }
+
+
 WORKLOADS = {
     "message_storm": _run_message_storm,
     "mem_op_storm": _run_mem_op_storm,
     "mem_op_batch_storm": _run_mem_op_batch_storm,
     "e11_sharded_kv": _run_e11_sharded,
     "e18_read_paths": _run_e18_read_paths,
+    "e19_parallel_scaleout": _run_e19_parallel_scaleout,
 }
+
+#: per-workload run-count overrides: the scale-out matrix runs four whole
+#: worker-count configurations per invocation and its headline figure is
+#: a projection rather than a noise-floor wall, so one run is the budget
+RUNS_OVERRIDE = {"e19_parallel_scaleout": 1}
+
+#: workloads that take a ``smoke=`` kwarg (CI-sized configurations)
+SMOKE_AWARE = {"e19_parallel_scaleout"}
 
 
 def whatif_overhead(runs: int = 3, n_ops: int = 10_000) -> float:
@@ -311,15 +532,24 @@ def whatif_overhead(runs: int = 3, n_ops: int = 10_000) -> float:
 # ----------------------------------------------------------------------
 # measurement
 # ----------------------------------------------------------------------
-def measure(runs: int = 5) -> dict:
-    """Run every workload ``runs`` times; return the experiments dict."""
+def measure(runs: int = 5, only: str = None, smoke: bool = False) -> dict:
+    """Run every workload ``runs`` times; return the experiments dict.
+
+    *only* filters workloads by substring match on their name; *smoke*
+    switches smoke-aware workloads to their CI-sized configuration.
+    Workloads in :data:`RUNS_OVERRIDE` ignore *runs*.
+    """
     experiments = {}
     for name, fn in WORKLOADS.items():
+        if only and only not in name:
+            continue
+        n_runs = RUNS_OVERRIDE.get(name, runs)
+        kwargs = {"smoke": True} if smoke and name in SMOKE_AWARE else {}
         walls = []
         ab_walls = []
         stats = None
-        for _ in range(runs):
-            wall, stats = fn()
+        for _ in range(n_runs):
+            wall, stats = fn(**kwargs)
             walls.append(wall)
             if "ab" in stats:
                 ab_walls.append(stats["ab"]["unbatched_wall_s"])
@@ -328,7 +558,7 @@ def measure(runs: int = 5) -> dict:
         p50 = statistics.median(walls)
         p99 = walls[min(len(walls) - 1, int(len(walls) * 0.99))]
         experiments[name] = {
-            "runs": runs,
+            "runs": n_runs,
             "wall_best_s": round(best, 6),
             "wall_p50_s": round(p50, 6),
             "wall_p99_s": round(p99, 6),
@@ -343,6 +573,8 @@ def measure(runs: int = 5) -> dict:
             if stats.get("reads")
             else None,
         }
+        if "extra" in stats:
+            experiments[name].update(stats["extra"])
         if ab_walls:
             # the A/B control: best-of walls for both variants, so the
             # speedup compares noise floors rather than single samples
@@ -371,14 +603,18 @@ def measure(runs: int = 5) -> dict:
     return experiments
 
 
-def check(current: dict, baseline: dict, tolerance: float):
+def check(current: dict, baseline: dict, tolerance: float, only: str = None):
     """Regressions: experiments whose sim_events_per_sec dropped more than
     *tolerance* versus the baseline.  Returns ``(failures, warnings)``.
 
     Schema-tolerant by design: a baseline from before an experiment (or a
     field) existed *warns* instead of KeyError-ing, so adding a workload
     never forces a same-commit baseline refresh — only a dropped or slowed
-    experiment fails the check."""
+    experiment fails the check.  Experiments the baseline marks
+    ``"gated": false`` (scaling projections, not noise-floor walls) are
+    skipped; under ``--only``, baseline experiments outside the filter
+    are skipped too rather than reported missing.  (Cross-host
+    comparisons are the caller's concern: see :func:`host_mismatch`.)"""
     failures = []
     warnings = []
     base_experiments = baseline.get("experiments", {})
@@ -389,6 +625,10 @@ def check(current: dict, baseline: dict, tolerance: float):
                 f"refresh the baseline to start gating it"
             )
     for name, base in base_experiments.items():
+        if only and only not in name:
+            continue
+        if base.get("gated") is False:
+            continue  # informational experiment: projections, not walls
         now = current.get(name)
         if now is None:
             failures.append(f"{name}: missing from current measurement")
@@ -410,12 +650,26 @@ def check(current: dict, baseline: dict, tolerance: float):
     return failures, warnings
 
 
+def host_mismatch(current_report: dict, baseline: dict):
+    """The baseline fields that identify its host, where they differ from
+    the current report's — non-empty means rate comparisons are
+    cross-machine and should warn, not gate."""
+    mismatches = []
+    for field in ("platform", "python"):
+        base_value = baseline.get(field)
+        now_value = current_report.get(field)
+        if base_value is not None and base_value != now_value:
+            mismatches.append(f"{field}: baseline {base_value!r} != {now_value!r}")
+    return mismatches
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="where to write the JSON report (default: repo-root "
-                             "BENCH_kernel.json; BENCH_kernel.current.json under --check "
-                             "so the baseline is never clobbered)")
+                             "BENCH_kernel.json; benchmarks/out/BENCH_kernel.current.json "
+                             "under --check so the baseline is never clobbered and the "
+                             "working tree stays clean)")
     parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
                         help="baseline JSON for --check (default: committed BENCH_kernel.json)")
     parser.add_argument("--check", action="store_true",
@@ -429,6 +683,14 @@ def main(argv=None) -> int:
                              "(default 0.25; 0.02 under --obs-overhead)")
     parser.add_argument("--runs", type=int, default=5,
                         help="runs per workload; best-of is reported (default 5)")
+    parser.add_argument("--only", type=str, default=None, metavar="SUBSTR",
+                        help="run only workloads whose name contains SUBSTR "
+                             "(e.g. 'e19'); --check skips unmatched baseline "
+                             "entries instead of reporting them missing")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized configurations for smoke-aware workloads "
+                             "(e19: 4 service cells x 2 shards, 400 clients, "
+                             "W in {1, 4})")
     parser.add_argument("--whatif-overhead", action="store_true",
                         help="also report the (informational, ungated) slowdown of "
                              "replaying the memory-op storm through an identity "
@@ -440,7 +702,9 @@ def main(argv=None) -> int:
         args.tolerance = 0.02 if args.obs_overhead else 0.25
     if args.out is None:
         args.out = (
-            args.baseline.with_suffix(".current.json") if args.check else DEFAULT_BASELINE
+            REPO_ROOT / "benchmarks" / "out" / "BENCH_kernel.current.json"
+            if args.check
+            else DEFAULT_BASELINE
         )
 
     # Load the baseline before any writing so --check can never compare a
@@ -450,7 +714,10 @@ def main(argv=None) -> int:
         baseline = json.loads(args.baseline.read_text())
 
     print(f"measuring kernel hot-path throughput ({args.runs} runs per workload)...")
-    experiments = measure(runs=args.runs)
+    experiments = measure(runs=args.runs, only=args.only, smoke=args.smoke)
+    if not experiments:
+        print(f"no workload matches --only {args.only!r}")
+        return 2
     report = {
         "schema": SCHEMA,
         "python": platform.python_version(),
@@ -462,6 +729,7 @@ def main(argv=None) -> int:
         report["whatif_overhead"] = ratio
         print(f"  what-if replay overhead (identity override vs constant "
               f"fast path): {ratio:.2f}x")
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 
@@ -469,7 +737,18 @@ def main(argv=None) -> int:
         if baseline is None:
             print(f"no baseline at {args.baseline}; nothing to check against")
             return 0
-        failures, warnings = check(experiments, baseline, args.tolerance)
+        failures, warnings = check(
+            experiments, baseline, args.tolerance, only=args.only
+        )
+        mismatches = host_mismatch(report, baseline)
+        if mismatches and failures:
+            # wall-clock rates do not transfer across hosts: report, don't gate
+            warnings.append(
+                "baseline was measured on a different host — downgrading "
+                "rate regressions to warnings (" + "; ".join(mismatches) + ")"
+            )
+            warnings.extend(failures)
+            failures = []
         for warning in warnings:
             print(f"  warning: {warning}")
         if failures:

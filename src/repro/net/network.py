@@ -89,6 +89,8 @@ class Network:
         self.link_faults: Dict[tuple, Any] = {}
         self.partition_dropped: int = 0
         self.chaos_dropped: int = 0
+        #: envelopes handed in from outside this kernel (parallel fabric)
+        self.injected: int = 0
 
     # ------------------------------------------------------------------
     # delivery path (called by the kernel at arrival time)

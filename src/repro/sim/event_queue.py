@@ -99,6 +99,29 @@ class EventQueue:
         """Earliest scheduled heap time, or None when the heap is empty."""
         return self._heap[0][0] if self._heap else None
 
+    def idle_before(self, horizon: float) -> bool:
+        """True when nothing is runnable strictly before virtual *horizon*.
+
+        The conservative parallel driver's barrier predicate: a worker
+        kernel stops at a time barrier when its ready lane is drained
+        (ready entries run *now*, which is always inside the current
+        window) and the earliest heap entry sits at or past the horizon.
+        """
+        if self._ready:
+            return False
+        return not self._heap or self._heap[0][0] >= horizon
+
+    def next_time(self) -> Optional[float]:
+        """The next instant this queue has work at, or None when drained.
+
+        Only meaningful between run windows (ready lane empty); a ready
+        entry has no time of its own, so with one pending this returns
+        ``-inf`` to mean "immediately, at the owner's current now".
+        """
+        if self._ready:
+            return float("-inf")
+        return self._heap[0][0] if self._heap else None
+
     # ------------------------------------------------------------------
     # ready lane (same-instant fast path)
     # ------------------------------------------------------------------

@@ -320,6 +320,23 @@ class Kernel:
         fault timers: the queue entry carries the event object itself."""
         self.queue.push(max(time, self.now), EV_FAULT, event)
 
+    def inject(self, envelope: Envelope, arrival: float) -> None:
+        """Schedule an externally produced *envelope* for delivery at
+        *arrival* — the parallel fabric's entry point into a worker kernel.
+
+        Conservative synchronization requires ``arrival >= now``: the
+        coordinator only injects at a barrier every cell has reached, and
+        cross-cell delay is at least the fabric lookahead, so a violation
+        here means the lookahead contract was broken, not a race to paper
+        over.
+        """
+        if arrival < self.now:
+            raise ValueError(
+                f"injection at t={arrival} is in this kernel's past (now={self.now})"
+            )
+        self.network.injected += 1
+        self.queue.push(arrival, EV_DELIVER, envelope)
+
     def register_regions(self, specs) -> None:
         """Register new memory regions at runtime (elastic reconfiguration).
 

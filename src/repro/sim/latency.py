@@ -55,6 +55,27 @@ class LatencyModel:
     #: replays keep the same fused-read code paths as the baseline run.
     fifo_memory_ops: bool = False
 
+    #: Virtual delay for traffic that crosses a *cell* (partition)
+    #: boundary under the parallel driver (see :mod:`repro.sim.parallel`).
+    #: It doubles as the conservative lookahead: cross-cell messages are
+    #: delayed exactly this much, so a worker that has reached the global
+    #: time floor ``t`` cannot be affected by any message sent after ``t``
+    #: until ``t + cross_partition_delay`` — the barrier horizon.  It is a
+    #: constant, never drawn from an RNG: per-cell RNG streams differ, and
+    #: any dependence on them would make the merged schedule vary with the
+    #: worker layout.  Two units = one nominal hop out of the source cell
+    #: plus one into the destination; models may override (a WAN-tier
+    #: model would raise it), but it must stay strictly positive.
+    cross_partition_delay: float = 2.0
+
+    def lookahead(self) -> float:
+        """The conservative cross-partition lookahead for barrier sync."""
+        if self.cross_partition_delay <= 0:
+            raise ValueError(
+                f"cross_partition_delay must be positive, got {self.cross_partition_delay!r}"
+            )
+        return self.cross_partition_delay
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         # Self-enforcing constant contract: a subclass that overrides a

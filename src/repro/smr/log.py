@@ -384,11 +384,41 @@ class ReplicatedLog:
             # local state is already at least as fresh as the quorum —
             # nothing to ingest, nothing to write back
             return self.applied_upto
+        write_back = None
+        if not confirmed:
+            if self.config.batch_chains:
+                # Fused writers can leave a FAILED chain's watermark at a
+                # minority of registers (the slot write ACKed, the run
+                # died before a majority).  Writing that residue back
+                # would promote it to a majority and let a later reader
+                # "confirm" a slot no writer ever committed — so under
+                # batch_chains an unconfirmed watermark is neither served
+                # nor written back: fall back to the consensus path
+                # before paying for an entry fetch it could never serve.
+                return None
+            # Classic writers publish a watermark only after its slot is
+            # majority-committed, so even a minority residue describes
+            # real commits — amplifying it to a majority is safe.  Ride
+            # the write-back WR on the entry-fetch chain instead of
+            # paying a third round afterwards: the chain applies in
+            # order, so any memory whose snapshot ACKs has durably
+            # installed the watermark first.  A majority of ACKs below
+            # therefore certifies exactly what the separate
+            # ``publish_watermark`` round used to (6 delays -> 4).
+            target = max(watermark, self._wm_publish_floor)
+            self._wm_publish_floor = target
+            write_back = WriteOp(
+                self.rx_region, watermark_key(self.rx_region, int(env.pid)), target
+            )
         floor = self.applied_upto + 1
         read_op = ReadSnapshotOp(self.region, (self.region,), floor)
-        entry_futures = yield from env.invoke_on_all(lambda mid: read_op)
+        fetch_op = read_op if write_back is None else BatchOp((write_back, read_op))
+        entry_futures = yield from env.invoke_on_all(lambda mid: fetch_op)
         yield env.wait(entry_futures, count=majority, timeout=timeout)
-        views = [f.value for f in entry_futures if f.done and f.ok]
+        if write_back is None:
+            views = [f.value for f in entry_futures if f.done and f.ok]
+        else:
+            views = [f.value[1] for f in entry_futures if f.done and f.ok]
         if len(views) < majority:
             return None
         best: Dict[int, tuple] = {}
@@ -408,23 +438,6 @@ class ReplicatedLog:
             if slot not in best and slot > self.applied_upto:
                 # a hole in the committed prefix (wiped memory mid-run):
                 # not one-sided-servable; the consensus path still is
-                return None
-        if not confirmed:
-            if self.config.batch_chains:
-                # Fused writers can leave a FAILED chain's watermark at a
-                # minority of registers (the slot write ACKed, the run
-                # died before a majority).  Writing that residue back
-                # would promote it to a majority and let a later reader
-                # "confirm" a slot no writer ever committed — so under
-                # batch_chains an unconfirmed watermark is neither served
-                # nor written back: fall back to the consensus path.
-                return None
-            target = max(watermark, self._wm_publish_floor)
-            self._wm_publish_floor = target
-            ok = yield from publish_watermark(
-                env, self.rx_region, target, timeout=timeout
-            )
-            if not ok:
                 return None
         for slot in range(floor, watermark + 1):
             if slot > self.applied_upto:  # the listener may have raced ahead
